@@ -1,0 +1,58 @@
+// Appendix C.4's textual results: sensitivity of the basic algorithm to
+// (i) the overlap rate between adjacent shelf readers (paper: containment
+// error flat at ~2.3%, location at ~0.08%, RR fixed at 0.7) and (ii) the
+// container capacity, 5-100 items per case (paper: accuracy unchanged).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace rfid {
+namespace {
+
+int Main() {
+  bench::PrintHeader("Appendix C.4: overlap-rate and capacity sweeps",
+                     "containment/location error flat in OR and capacity");
+
+  std::printf("-- overlap rate sweep (RR = 0.7) --\n");
+  TablePrinter overlap({"OverlapRate", "Containment(%)", "Location(%)"});
+  for (double orate : {0.2, 0.35, 0.5, 0.65, 0.8}) {
+    SupplyChainConfig cfg = bench::SingleWarehouse(
+        0.7, /*horizon=*/1500, /*seed=*/1100 + static_cast<uint64_t>(
+                                            orate * 100));
+    cfg.read_rate.overlap = orate;
+    SupplyChainSim sim(cfg);
+    sim.Run();
+    auto score = bench::RunSingleSite(sim, TruncationMethod::kAll);
+    overlap.AddRow({TablePrinter::Fmt(orate, 2),
+                    TablePrinter::Fmt(score.containment_error),
+                    TablePrinter::Fmt(score.location_error)});
+  }
+  overlap.Print();
+
+  std::printf("\n-- container capacity sweep (RR = 0.8, OR = 0.5) --\n");
+  TablePrinter capacity({"ItemsPerCase", "Containment(%)", "Location(%)"});
+  for (int items : {5, 20, 50, 100}) {
+    SupplyChainConfig cfg = bench::SingleWarehouse(
+        0.8, /*horizon=*/1500, /*seed=*/1200 + static_cast<uint64_t>(items));
+    cfg.items_per_case = items;
+    // Keep total item count comparable across capacities.
+    cfg.cases_per_pallet = std::max(1, 100 / items);
+    SupplyChainSim sim(cfg);
+    sim.Run();
+    auto score = bench::RunSingleSite(sim, TruncationMethod::kAll);
+    capacity.AddRow({std::to_string(items),
+                     TablePrinter::Fmt(score.containment_error),
+                     TablePrinter::Fmt(score.location_error)});
+  }
+  capacity.Print();
+  std::printf(
+      "expected shape: both sweeps essentially flat -- co-location weights\n"
+      "are computed per (object, container) pair, so neither reader overlap\n"
+      "nor case capacity moves the error materially.\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfid
+
+int main() { return rfid::Main(); }

@@ -1,0 +1,115 @@
+// Figure 4: point and cumulative evidence of co-location for three
+// candidate containers of one object -- the real container (R, travels with
+// the object through door, belt, and shelf), a false container co-located
+// at the door and shelf but not at the belt (NRC), and a false container
+// not co-located after the door (NRNC). The belt span, where only R
+// accompanies the object, is the critical region history truncation hunts
+// for.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "inference/rfinfer.h"
+#include "model/read_rate.h"
+#include "model/schedule.h"
+#include "trace/trace.h"
+
+namespace rfid {
+namespace {
+
+void SamplePath(const ReadRateModel& model, TagId tag,
+                const std::vector<LocationId>& path, Rng& rng, Trace* trace) {
+  for (Epoch t = 0; t < static_cast<Epoch>(path.size()); ++t) {
+    if (path[static_cast<size_t>(t)] == kNoLocation) continue;
+    for (LocationId r = 0; r < model.num_locations(); ++r) {
+      if (rng.NextBernoulli(model.Rate(r, path[static_cast<size_t>(t)]))) {
+        trace->Add(RawReading{t, tag, r});
+      }
+    }
+  }
+}
+
+int Main() {
+  bench::PrintHeader("Figure 4: evidence of co-location",
+                     "Fig 4(a) cumulative, Fig 4(b) point evidence");
+
+  // Locations: 0 = entry door, 1 = belt, 2 = shelf (paper narrative:
+  // object at door from 0, belt around t=100, shelf from t=150).
+  auto model = ReadRateModel::Uniform(3, 0.8);
+  auto sched = InterrogationSchedule::AlwaysOn(3);
+  sched.Finalize(model);
+  const Epoch T = 200;
+  auto path_of = [&](bool at_belt, bool after_belt) {
+    std::vector<LocationId> p(static_cast<size_t>(T));
+    for (Epoch t = 0; t < T; ++t) {
+      LocationId loc;
+      if (t < 100) {
+        loc = 0;
+      } else if (t < 150) {
+        loc = at_belt ? 1 : 2;
+      } else {
+        loc = after_belt ? 2 : 0;
+      }
+      p[static_cast<size_t>(t)] = loc;
+    }
+    return p;
+  };
+
+  Rng rng(404);
+  Trace trace;
+  TagId object = TagId::Item(1);
+  TagId real = TagId::Case(1);      // R: always with the object
+  TagId nrc = TagId::Case(2);       // NRC: door + shelf, skips the belt
+  TagId nrnc = TagId::Case(3);      // NRNC: door only
+  SamplePath(model, object, path_of(true, true), rng, &trace);
+  SamplePath(model, real, path_of(true, true), rng, &trace);
+  SamplePath(model, nrc, path_of(false, true), rng, &trace);
+  SamplePath(model, nrnc, path_of(false, false), rng, &trace);
+  trace.Seal();
+
+  RFInfer engine(&model, &sched);
+  RFID_CHECK_OK(engine.Run(trace, 0, T - 1));
+  std::printf("inferred container of %s: %s (expect %s)\n",
+              object.ToString().c_str(),
+              engine.ContainerOf(object).ToString().c_str(),
+              real.ToString().c_str());
+
+  auto series_r = engine.EvidenceSeries(object, real);
+  auto series_nrc = engine.EvidenceSeries(object, nrc);
+  auto series_nrnc = engine.EvidenceSeries(object, nrnc);
+
+  TablePrinter table({"t", "point(R)", "point(NRC)", "point(NRNC)",
+                      "cum(R)", "cum(NRC)", "cum(NRNC)"});
+  auto value_at = [](const std::vector<EvidencePoint>& s, Epoch t,
+                     bool cumulative) {
+    double last_cum = 0.0;
+    for (const EvidencePoint& p : s) {
+      if (p.time > t) break;
+      last_cum = cumulative ? p.cumulative : p.point;
+      if (!cumulative && p.time == t) return p.point;
+      if (!cumulative && p.time < t) last_cum = p.point;
+    }
+    return last_cum;
+  };
+  for (Epoch t = 40; t <= 200; t += 10) {
+    table.AddRow({std::to_string(t),
+                  TablePrinter::Fmt(value_at(series_r, t, false)),
+                  TablePrinter::Fmt(value_at(series_nrc, t, false)),
+                  TablePrinter::Fmt(value_at(series_nrnc, t, false)),
+                  TablePrinter::Fmt(value_at(series_r, t, true)),
+                  TablePrinter::Fmt(value_at(series_nrc, t, true)),
+                  TablePrinter::Fmt(value_at(series_nrnc, t, true))});
+  }
+  table.Print();
+  std::printf(
+      "expected shape: during the belt span [100,150) the real container's\n"
+      "point evidence dominates and the false containers' cumulative\n"
+      "evidence drops fast; afterwards NRC recovers (co-located on the\n"
+      "shelf) while NRNC keeps falling.\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfid
+
+int main() { return rfid::Main(); }

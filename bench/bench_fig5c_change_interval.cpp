@@ -1,0 +1,64 @@
+// Figure 5(c): change-point detection F-measure as the containment-change
+// interval varies from 10 to 120 seconds, for RFINFER (recent history
+// H=500) at read rates 0.7/0.8 versus SMURF* at the same read rates.
+//
+// Paper's result: RFINFER stays accurate (~85-95%) and is insensitive to
+// the change interval; SMURF* is far worse because it lacks the principled
+// iterative feedback between location and containment estimates.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace rfid {
+namespace {
+
+SupplyChainConfig ChangeWorkload(double rr, Epoch interval, uint64_t seed) {
+  SupplyChainConfig cfg = bench::SingleWarehouse(rr, /*horizon=*/1800, seed);
+  cfg.anomaly_interval = interval;
+  return cfg;
+}
+
+int Main() {
+  bench::PrintHeader(
+      "Figure 5(c): change detection vs change interval",
+      "F-measure, RFINFER(H=500) vs SMURF*, RR in {0.7, 0.8}");
+  // Calibrate delta once per read rate (offline, before data; Section 3.3).
+  TablePrinter table({"Interval(s)", "RFINFER RR=0.8", "RFINFER RR=0.7",
+                      "SMURF* RR=0.8", "SMURF* RR=0.7"});
+  // Detection threshold: Table 3's plateau (delta ~= 50). The offline
+  // sampler's threshold is printed for reference; it undershoots on this
+  // workload (see EXPERIMENTS.md "Known deviations").
+  const double delta_08 = 50.0, delta_07 = 50.0;
+  {
+    SupplyChainSim probe8(ChangeWorkload(0.8, 0, 1));
+    std::printf("offline-sampled delta (reference): RR=0.8 -> %.1f\n",
+                bench::CalibratedThreshold(probe8));
+  }
+  for (Epoch interval : {10, 20, 40, 60, 90, 120}) {
+    SupplyChainSim sim8(ChangeWorkload(0.8, interval, 500 + interval));
+    sim8.Run();
+    SupplyChainSim sim7(ChangeWorkload(0.7, interval, 700 + interval));
+    sim7.Run();
+    auto rf8 = bench::RunChangeDetection(sim8, /*recent_history=*/500,
+                                         delta_08);
+    auto rf7 = bench::RunChangeDetection(sim7, /*recent_history=*/500,
+                                         delta_07);
+    auto ss8 = bench::RunSmurfStarChanges(sim8);
+    auto ss7 = bench::RunSmurfStarChanges(sim7);
+    table.AddRow({std::to_string(interval),
+                  TablePrinter::Fmt(rf8.f_measure, 1),
+                  TablePrinter::Fmt(rf7.f_measure, 1),
+                  TablePrinter::Fmt(ss8.f_measure, 1),
+                  TablePrinter::Fmt(ss7.f_measure, 1)});
+  }
+  table.Print();
+  std::printf(
+      "expected shape: RFINFER well above SMURF* at every interval and not\n"
+      "very sensitive to it; RR=0.8 above RR=0.7.\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfid
+
+int main() { return rfid::Main(); }

@@ -1,0 +1,84 @@
+// Figure 5(d): RFINFER versus SMURF* on the eight lab traces T1..T8
+// (Appendix C.2): read rate 0.85/0.70, shelf-reader overlap 0.25/0.50,
+// and (T5..T8) containment changes. Inference every 5 minutes over a
+// 10-minute history, as in the paper.
+//
+// Paper's result: RFINFER's containment error stays within 5% on T1..T4 and
+// peaks at ~13% with all noise factors combined (T8); location error is low
+// throughout; SMURF* is far worse on every trace.
+#include <cstdio>
+
+#include "baseline/smurf_star.h"
+#include "bench/bench_common.h"
+#include "inference/evaluate.h"
+#include "inference/streaming.h"
+
+namespace rfid {
+namespace {
+
+int Main() {
+  bench::PrintHeader("Figure 5(d): lab traces T1..T8",
+                     "RFINFER vs SMURF* error rates (cont. and location)");
+  TablePrinter table({"Trace", "RR", "OR", "Changes", "SMURF* Cont%",
+                      "SMURF* Loc%", "RFINFER Cont%", "RFINFER Loc%"});
+  for (int t = 1; t <= 8; ++t) {
+    LabConfig cfg;
+    cfg.spec = LabSpecFor(t);
+    cfg.horizon = 1500;
+    cfg.seed = 7000 + static_cast<uint64_t>(t);
+    LabDeployment lab(cfg);
+    lab.Run();
+
+    // RFINFER: inference every 5 min over a 10-min history.
+    StreamingOptions opts;
+    opts.inference_period = 300;
+    opts.truncation = TruncationMethod::kCriticalRegion;
+    opts.recent_history = 600;
+    opts.detect_changes = cfg.spec.with_changes;
+    opts.change_threshold = 25.0;
+    StreamingInference si(&lab.model(), &lab.schedule(), opts);
+    for (const RawReading& r : lab.trace().readings()) si.Observe(r);
+    si.AdvanceTo(cfg.horizon);
+
+    SmurfStar star(&lab.schedule());
+    RFID_CHECK_OK(star.Run(lab.trace(), 0, cfg.horizon));
+
+    const Epoch at = cfg.horizon - 100;  // before the exit-door shuffle
+    ErrorRate rf_cont, ss_cont, rf_loc, ss_loc;
+    for (TagId item : lab.items()) {
+      if (!lab.truth().PresentAt(item, at)) continue;
+      TagId truth = lab.truth().ContainerAt(item, at);
+      rf_cont.Add(si.ContainerOf(item) == truth);
+      ss_cont.Add(star.ContainerOf(item) == truth);
+    }
+    for (TagId c : lab.cases()) {
+      for (Epoch e = 600; e < at; e += 50) {
+        LocationId truth_loc = lab.truth().LocationAt(c, e);
+        if (truth_loc == kNoLocation) continue;
+        LocationId rf = si.LocationOf(c, e);
+        LocationId ss = star.LocationOf(c, e);
+        if (rf != kNoLocation) rf_loc.Add(rf == truth_loc);
+        if (ss != kNoLocation) ss_loc.Add(ss == truth_loc);
+      }
+    }
+    table.AddRow({"T" + std::to_string(t),
+                  TablePrinter::Fmt(cfg.spec.read_rate, 2),
+                  TablePrinter::Fmt(cfg.spec.overlap, 2),
+                  cfg.spec.with_changes ? "yes" : "no",
+                  TablePrinter::Fmt(ss_cont.Percent(), 1),
+                  TablePrinter::Fmt(ss_loc.Percent(), 1),
+                  TablePrinter::Fmt(rf_cont.Percent(), 1),
+                  TablePrinter::Fmt(rf_loc.Percent(), 1)});
+  }
+  table.Print();
+  std::printf(
+      "expected shape: RFINFER containment error small on T1-T4, larger\n"
+      "with changes (T5-T8, worst when RR low and OR high), always well\n"
+      "below SMURF*; location errors low for RFINFER on every trace.\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfid
+
+int main() { return rfid::Main(); }

@@ -1,0 +1,50 @@
+// Figure 6(a): the basic inference algorithm's containment and location
+// error rates as the read rate varies from 0.6 to 1.0 (1500-second traces,
+// inference over all readings obtained thus far).
+//
+// Paper's result: location error < 0.5% throughout; containment error < 7%
+// at RR 0.6, falling toward 0 as RR -> 1.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace rfid {
+namespace {
+
+int Main() {
+  bench::PrintHeader("Figure 6(a): basic algorithm vs read rate",
+                     "error rate for containment and location inference");
+  // Two initialization variants: the paper's plain co-occurrence counts,
+  // and this library's exclusivity-weighted counts (ablation; see
+  // EXPERIMENTS.md). The paper-faithful rows track Figure 6(a)'s curve;
+  // the weighted init removes the residual group lock-in errors.
+  TablePrinter table({"ReadRate", "Cont(paper-init)%", "Loc(paper-init)%",
+                      "Cont(weighted)%", "Loc(weighted)%", "Time(s)"});
+  for (double rr : {0.6, 0.7, 0.8, 0.9, 1.0}) {
+    SupplyChainSim sim(bench::SingleWarehouse(rr, /*horizon=*/1500,
+                                              /*seed=*/100));
+    sim.Run();
+    StreamingOptions faithful;
+    faithful.truncation = TruncationMethod::kAll;
+    faithful.inference.exclusivity_weighted_init = false;
+    auto paper = bench::RunSingleSiteWith(sim, faithful);
+    auto weighted = bench::RunSingleSite(sim, TruncationMethod::kAll);
+    table.AddRow({TablePrinter::Fmt(rr, 1),
+                  TablePrinter::Fmt(paper.containment_error),
+                  TablePrinter::Fmt(paper.location_error),
+                  TablePrinter::Fmt(weighted.containment_error),
+                  TablePrinter::Fmt(weighted.location_error),
+                  TablePrinter::Fmt(weighted.seconds)});
+  }
+  table.Print();
+  std::printf(
+      "expected shape: paper-init containment error falls with RR (<~7%% at\n"
+      "0.6, matching Figure 6(a)); the weighted init drives it near zero;\n"
+      "location error stays near zero at every read rate.\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfid
+
+int main() { return rfid::Main(); }

@@ -1,0 +1,44 @@
+// Figure 6(b): containment error of the truncation methods as the trace
+// length grows (600-3600 s). The window method degrades on long traces
+// because the discriminative belt readings age out of the window; All and
+// CR stay flat, CR slightly better from noise removal.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace rfid {
+namespace {
+
+int Main() {
+  bench::PrintHeader("Figure 6(b): truncation error vs trace length",
+                     "Containment(All) / Containment(CR) / "
+                     "Containment(W1200)");
+  TablePrinter table(
+      {"TraceLen(s)", "Cont(All)%", "Cont(CR)%", "Cont(W1200)%"});
+  for (Epoch len : {600, 1200, 1800, 2400, 3000, 3600}) {
+    SupplyChainConfig cfg = bench::SingleWarehouse(0.8, len, /*seed=*/600);
+    // Fixed population: the figure isolates the effect of history length,
+    // so the same items are watched for longer rather than more items
+    // accumulating (the paper's steady state holds population constant).
+    cfg.max_pallets = 10 * bench::Scale();
+    SupplyChainSim sim(cfg);
+    sim.Run();
+    auto all = bench::RunSingleSite(sim, TruncationMethod::kAll);
+    auto cr = bench::RunSingleSite(sim, TruncationMethod::kCriticalRegion,
+                                   1200, 600);
+    auto w = bench::RunSingleSite(sim, TruncationMethod::kWindow, 1200);
+    table.AddRow({std::to_string(len), TablePrinter::Fmt(all.containment_error),
+                  TablePrinter::Fmt(cr.containment_error),
+                  TablePrinter::Fmt(w.containment_error)});
+  }
+  table.Print();
+  std::printf(
+      "expected shape: W1200's error rises on longer traces; All and CR\n"
+      "stay flat and close.\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfid
+
+int main() { return rfid::Main(); }

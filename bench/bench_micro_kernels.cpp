@@ -1,0 +1,145 @@
+// google-benchmark microbenchmarks of the hot kernels: the EM engine on
+// planted worlds, the change-point scan, trace serialization, gzip (the
+// centralized baseline's compressor), pattern-matcher pushes, and the
+// centroid diff codec.
+#include <benchmark/benchmark.h>
+
+#include "common/compress.h"
+#include "common/rng.h"
+#include "inference/rfinfer.h"
+#include "model/generative.h"
+#include "model/read_rate.h"
+#include "model/schedule.h"
+#include "query/state_sharing.h"
+#include "stream/pattern.h"
+#include "trace/trace_io.h"
+
+namespace rfid {
+namespace {
+
+// A planted world: `containers` groups of `objects_per` objects, horizon T.
+Trace PlantedTrace(int containers, int objects_per, Epoch T, double rr,
+                   uint64_t seed) {
+  auto model = ReadRateModel::Uniform(containers + 2, rr);
+  Rng rng(seed);
+  Trace trace;
+  for (int c = 0; c < containers; ++c) {
+    GenerativeScenario scenario;
+    scenario.container = TagId::Case(static_cast<uint64_t>(c));
+    for (int o = 0; o < objects_per; ++o) {
+      scenario.objects.push_back(
+          TagId::Item(static_cast<uint64_t>(c * objects_per + o)));
+    }
+    scenario.location_path.assign(static_cast<size_t>(T),
+                                  static_cast<LocationId>(c % (containers)));
+    SampleReadings(model, scenario, rng, &trace);
+  }
+  trace.Seal();
+  return trace;
+}
+
+void BM_RFInferRun(benchmark::State& state) {
+  const int containers = static_cast<int>(state.range(0));
+  const Epoch T = 300;
+  auto model = ReadRateModel::Uniform(containers + 2, 0.8);
+  auto sched = InterrogationSchedule::AlwaysOn(containers + 2);
+  sched.Finalize(model);
+  Trace trace = PlantedTrace(containers, 10, T, 0.8, 42);
+  for (auto _ : state) {
+    RFInfer engine(&model, &sched);
+    benchmark::DoNotOptimize(engine.Run(trace, 0, T - 1));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_RFInferRun)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ChangeStatistic(benchmark::State& state) {
+  const int containers = 8;
+  const Epoch T = 300;
+  auto model = ReadRateModel::Uniform(containers + 2, 0.8);
+  auto sched = InterrogationSchedule::AlwaysOn(containers + 2);
+  sched.Finalize(model);
+  Trace trace = PlantedTrace(containers, 10, T, 0.8, 43);
+  RFInfer engine(&model, &sched);
+  RFID_CHECK_OK(engine.Run(trace, 0, T - 1));
+  const auto objects = engine.object_tags();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ChangeStatistic(objects[i]));
+    i = (i + 1) % objects.size();
+  }
+}
+BENCHMARK(BM_ChangeStatistic);
+
+void BM_TraceEncode(benchmark::State& state) {
+  Trace trace = PlantedTrace(8, 10, 600, 0.8, 44);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeTrace(trace));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_TraceEncode);
+
+void BM_TraceDecode(benchmark::State& state) {
+  Trace trace = PlantedTrace(8, 10, 600, 0.8, 44);
+  auto bytes = EncodeTrace(trace);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeTrace(bytes));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_TraceDecode);
+
+void BM_GzipReadings(benchmark::State& state) {
+  Trace trace = PlantedTrace(8, 10, 600, 0.8, 45);
+  auto bytes = EncodeTrace(trace);
+  std::vector<uint8_t> out;
+  for (auto _ : state) {
+    RFID_CHECK_OK(Compress(bytes, &out));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_GzipReadings);
+
+void BM_PatternPush(benchmark::State& state) {
+  PatternOptions opts;
+  opts.partition_col = 0;
+  opts.value_col = 1;
+  opts.min_duration = 1 << 30;  // never fire; measure the state machine
+  PatternSeqOp pattern(opts);
+  Tuple t;
+  t.values = {Value{TagId::Item(1)}, Value{20.0}};
+  Epoch now = 0;
+  for (auto _ : state) {
+    t.time = ++now;
+    pattern.Push(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PatternPush);
+
+void BM_DiffEncodeApply(benchmark::State& state) {
+  Rng rng(46);
+  std::vector<uint8_t> base(512);
+  for (auto& b : base) b = static_cast<uint8_t>(rng.NextBounded(256));
+  auto target = base;
+  for (int i = 0; i < 16; ++i) {
+    target[rng.NextBounded(target.size())] =
+        static_cast<uint8_t>(rng.NextBounded(256));
+  }
+  for (auto _ : state) {
+    auto diff = DiffEncode(base, target);
+    benchmark::DoNotOptimize(DiffApply(base, diff));
+  }
+}
+BENCHMARK(BM_DiffEncodeApply);
+
+}  // namespace
+}  // namespace rfid
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Table 3: change-detection F-measure for fixed thresholds delta in
+// {10..100} and for the offline-calibrated threshold (Section 3.3), across
+// read rates 0.6-0.9.
+//
+// Paper's result: the best fixed threshold varies with the read rate, but
+// the sampled threshold always lands within ~2% of the optimum.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace rfid {
+namespace {
+
+int Main() {
+  bench::PrintHeader("Table 3: change-detection threshold sweep",
+                     "F-measure per fixed delta vs calibrated delta");
+  std::vector<double> deltas{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  std::vector<std::string> header{"RR"};
+  for (double d : deltas) header.push_back("d=" + TablePrinter::Fmt(d, 0));
+  header.push_back("calibrated");
+  header.push_back("F(calib)");
+  TablePrinter table(header);
+
+  for (double rr : {0.6, 0.7, 0.8, 0.9}) {
+    SupplyChainConfig cfg =
+        bench::SingleWarehouse(rr, /*horizon=*/1500,
+                               /*seed=*/3000 + static_cast<uint64_t>(rr * 10));
+    // A lighter warehouse keeps the threshold sweep quick; the sweep's
+    // shape, not its absolute population, is the target here.
+    cfg.shelves_per_warehouse = 6;
+    cfg.cases_per_pallet = 3;
+    cfg.items_per_case = 10;
+    cfg.anomaly_interval = 20;  // paper default FA
+    SupplyChainSim sim(cfg);
+    sim.Run();
+    std::vector<std::string> row{TablePrinter::Fmt(rr, 1)};
+    for (double d : deltas) {
+      auto score = bench::RunChangeDetection(sim, /*recent_history=*/600, d);
+      row.push_back(TablePrinter::Fmt(score.f_measure, 0));
+    }
+    const double calibrated = bench::CalibratedThreshold(sim);
+    auto score =
+        bench::RunChangeDetection(sim, /*recent_history=*/600, calibrated);
+    row.push_back(TablePrinter::Fmt(calibrated, 1));
+    row.push_back(TablePrinter::Fmt(score.f_measure, 0));
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "expected shape: small deltas lose precision, large deltas lose\n"
+      "recall; the calibrated threshold's F-measure tracks the best fixed\n"
+      "value within a few percent at every read rate.\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfid
+
+int main() { return rfid::Main(); }

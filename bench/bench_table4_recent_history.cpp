@@ -1,0 +1,62 @@
+// Table 4: the accuracy/efficiency trade-off of the recent-history size
+// H-bar: change-detection F-measure and inference time cost for H-bar in
+// {300..900} at read rates 0.6-0.9.
+//
+// Paper's result: longer recent history improves F-measure (especially at
+// low read rates) but costs more time; H-bar = 500 keeps >90% accuracy at
+// stream speed for RR in [0.7, 0.9].
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace rfid {
+namespace {
+
+int Main() {
+  bench::PrintHeader("Table 4: recent-history size sweep",
+                     "F-measure (%) and time (s) per H-bar and read rate");
+  std::vector<Epoch> sizes{300, 400, 500, 600, 700, 800, 900};
+  std::vector<std::string> header{"RR", "metric"};
+  for (Epoch h : sizes) header.push_back("H=" + std::to_string(h));
+  TablePrinter table(header);
+
+  for (double rr : {0.6, 0.7, 0.8, 0.9}) {
+    SupplyChainConfig cfg =
+        bench::SingleWarehouse(rr, /*horizon=*/1500,
+                               /*seed=*/4000 + static_cast<uint64_t>(rr * 10));
+    // A lighter warehouse keeps the threshold sweep quick; the sweep's
+    // shape, not its absolute population, is the target here.
+    cfg.shelves_per_warehouse = 6;
+    cfg.cases_per_pallet = 3;
+    cfg.items_per_case = 10;
+    cfg.anomaly_interval = 20;
+    SupplyChainSim sim(cfg);
+    sim.Run();
+    // Detection threshold: the plateau value of Table 3's fixed-delta
+    // sweep. (Our offline calibration undershoots on this workload; see
+    // EXPERIMENTS.md "Known deviations".)
+    const double delta = 50.0;
+    std::vector<std::string> frow{TablePrinter::Fmt(rr, 1), "F-m.(%)"};
+    std::vector<std::string> trow{"", "Time(s)"};
+    for (Epoch h : sizes) {
+      auto score = bench::RunChangeDetection(sim, h, delta);
+      frow.push_back(TablePrinter::Fmt(score.f_measure, 0));
+      trow.push_back(TablePrinter::Fmt(score.seconds, 2));
+    }
+    table.AddRow(frow);
+    table.AddRow(trow);
+  }
+  table.Print();
+  std::printf(
+      "expected shape: F-measure rises with H-bar (biggest gains at low\n"
+      "read rates); time grows with H-bar roughly linearly. \"Keeping up\n"
+      "with stream speed\" means time below the 300 s inference period\n"
+      "(trivially true in C++ at bench scale; the paper's Java prototype\n"
+      "saturated around H=500-600).\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfid
+
+int main() { return rfid::Main(); }

@@ -1,0 +1,61 @@
+// Table 5: communication cost (bytes) of the centralized approach (raw
+// readings, delta-encoded then gzipped) versus the None and CR state
+// migration methods, across read rates.
+//
+// Paper's result: CR costs ~3 orders of magnitude less than centralized
+// (225 KB vs 126-188 MB at full 4-hour, 0.32M-item scale) and None costs
+// zero; centralized bytes grow with the read rate (more readings).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "dist/distributed.h"
+
+namespace rfid {
+namespace {
+
+int Main() {
+  bench::PrintHeader("Table 5: communication cost",
+                     "bytes shipped: Centralized vs None vs CR");
+  TablePrinter table({"ReadRate", "Centralized", "None", "CR",
+                      "CR(inference)", "Ratio(Central/CR)"});
+  for (double rr : {0.6, 0.7, 0.8, 0.9}) {
+    SupplyChainSim sim(bench::MultiWarehouse(
+        rr, /*anomaly_interval=*/0, /*horizon=*/2400,
+        /*seed=*/7000 + static_cast<uint64_t>(rr * 10)));
+    sim.Run();
+
+    DistributedOptions central;
+    central.mode = ProcessingMode::kCentralized;
+    DistributedSystem sys_central(&sim, central);
+    sys_central.Run();
+
+    DistributedOptions cr;
+    cr.site.migration = MigrationMode::kCollapsed;
+    DistributedSystem sys_cr(&sim, cr);
+    sys_cr.Run();
+
+    const int64_t central_bytes = sys_central.network().total_bytes();
+    const int64_t cr_bytes = sys_cr.network().total_bytes();
+    table.AddRow(
+        {TablePrinter::Fmt(rr, 1), std::to_string(central_bytes), "0",
+         std::to_string(cr_bytes),
+         std::to_string(
+             sys_cr.network().BytesOfKind(MessageKind::kInferenceState)),
+         TablePrinter::Fmt(
+             cr_bytes > 0 ? static_cast<double>(central_bytes) /
+                                static_cast<double>(cr_bytes)
+                          : 0.0,
+             1)});
+  }
+  table.Print();
+  std::printf(
+      "expected shape: centralized bytes grow with read rate and dwarf CR;\n"
+      "the gap widens with residence time -- at the paper's 4-hour scale it\n"
+      "reaches 3 orders of magnitude.\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfid
+
+int main() { return rfid::Main(); }

@@ -1,0 +1,99 @@
+#include "baseline/smurf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace rfid {
+
+namespace {
+
+/// Interrogation cycles any reader performed in (from, to]; SMURF sizes its
+/// window in cycles, not wall-clock epochs.
+int64_t CyclesIn(const InterrogationSchedule& schedule, Epoch from, Epoch to) {
+  // All deployments in this codebase have at least the non-shelf readers
+  // scanning every epoch, so epochs are a faithful cycle count.
+  (void)schedule;
+  return std::max<int64_t>(0, to - from);
+}
+
+}  // namespace
+
+SmoothedTrack SmurfSmooth(const std::vector<TagRead>& history,
+                          const InterrogationSchedule& schedule, Epoch begin,
+                          Epoch end, const SmurfOptions& options) {
+  SmoothedTrack track;
+  track.begin = begin;
+  if (end < begin) return track;
+  track.locs.assign(static_cast<size_t>(end - begin + 1), kNoLocation);
+  track.windows.assign(static_cast<size_t>(end - begin + 1),
+                       options.min_window);
+
+  Epoch window = options.min_window;
+  size_t lo = 0;  // first read inside the window
+  size_t hi = 0;  // first read after the current epoch
+  for (Epoch t = begin; t <= end; ++t) {
+    while (hi < history.size() && history[hi].time <= t) ++hi;
+    const Epoch w_begin = t - window + 1;
+    while (lo < hi && history[lo].time < w_begin) ++lo;
+    const int64_t reads_in_window = static_cast<int64_t>(hi - lo);
+
+    // Estimate the per-cycle read rate within the window.
+    const int64_t cycles = std::max<int64_t>(
+        1, CyclesIn(schedule, w_begin - 1, t));
+    const double p_avg =
+        std::min(0.95, static_cast<double>(reads_in_window) /
+                           static_cast<double>(cycles));
+
+    if (reads_in_window > 0) {
+      // Completeness-driven window size: (1-p)^w* <= delta.
+      const double target =
+          p_avg > 1e-6 ? std::log(1.0 / options.delta) /
+                             -std::log1p(-std::min(p_avg, 0.95))
+                       : static_cast<double>(options.max_window);
+      Epoch w_star = static_cast<Epoch>(std::ceil(target));
+      w_star = std::clamp(w_star, options.min_window, options.max_window);
+
+      // Transition detection: compare the second half of the window to the
+      // binomial expectation; a significant deficit means the tag left.
+      const Epoch half = window / 2;
+      if (half >= 1) {
+        int64_t recent = 0;
+        for (size_t i = lo; i < hi; ++i) {
+          if (history[i].time > t - half) ++recent;
+        }
+        const double expected = p_avg * static_cast<double>(half);
+        const double stddev = std::sqrt(
+            std::max(1e-9, static_cast<double>(half) * p_avg * (1 - p_avg)));
+        if (static_cast<double>(recent) < expected - 2.0 * stddev) {
+          window = std::max(options.min_window, window / 2);
+        } else if (window < w_star) {
+          window = std::min(options.max_window, window + 1);
+        } else {
+          window = w_star;
+        }
+      } else {
+        window = w_star;
+      }
+
+      // Location estimate: plurality reader inside the window, ties to the
+      // most recently seen reader.
+      std::unordered_map<LocationId, int> votes;
+      for (size_t i = lo; i < hi; ++i) ++votes[history[i].reader];
+      LocationId best = kNoLocation;
+      int best_votes = 0;
+      for (size_t i = lo; i < hi; ++i) {
+        const int v = votes[history[i].reader];
+        if (v >= best_votes) {
+          best_votes = v;
+          best = history[i].reader;
+        }
+      }
+      track.locs[static_cast<size_t>(t - begin)] = best;
+    }
+    track.windows[static_cast<size_t>(t - begin)] = window;
+  }
+  return track;
+}
+
+}  // namespace rfid

@@ -1,0 +1,64 @@
+// SMURF: per-tag adaptive-window smoothing of RFID streams (Jeffery et al.,
+// "An adaptive RFID middleware for supporting metaphysical data
+// independence", VLDB Journal 2007 -- reference [11] of the paper).
+//
+// SMURF views each tag's readings as a random sample of its true presence:
+// with per-epoch read probability p, a window of w interrogation cycles
+// misses a present tag with probability (1-p)^w. It sizes the window just
+// large enough for completeness, w* = ln(1/delta)/p, and shrinks it when a
+// binomial test on the window's two halves signals that the tag has
+// transitioned (left the reader's range), trading completeness against
+// responsiveness.
+//
+// This is the temporal-smoothing comparator the paper contrasts with
+// RFINFER's smoothing over containment relations.
+#ifndef RFID_BASELINE_SMURF_H_
+#define RFID_BASELINE_SMURF_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "model/schedule.h"
+#include "trace/trace.h"
+
+namespace rfid {
+
+struct SmurfOptions {
+  /// Acceptable probability of a false "absent" within a full window.
+  double delta = 0.05;
+  Epoch min_window = 2;
+  Epoch max_window = 150;
+};
+
+/// Smoothed per-epoch location track of one tag.
+struct SmoothedTrack {
+  Epoch begin = 0;
+  /// locs[t - begin]: estimated location at epoch t, kNoLocation when the
+  /// tag is deemed absent everywhere.
+  std::vector<LocationId> locs;
+  /// Adaptive window size used at each epoch (for SMURF* change checks).
+  std::vector<Epoch> windows;
+
+  LocationId At(Epoch t) const {
+    const int64_t idx = t - begin;
+    if (idx < 0 || idx >= static_cast<int64_t>(locs.size())) {
+      return kNoLocation;
+    }
+    return locs[static_cast<size_t>(idx)];
+  }
+};
+
+/// Smooths one tag's read history over [begin, end].
+///
+/// Per epoch, the estimate is the plurality reader among the readings inside
+/// the current adaptive window (ties to the more recent reader); the tag is
+/// absent when the window holds no readings. The window grows toward the
+/// completeness size derived from the observed read rate and shrinks on a
+/// detected transition.
+SmoothedTrack SmurfSmooth(const std::vector<TagRead>& history,
+                          const InterrogationSchedule& schedule, Epoch begin,
+                          Epoch end, const SmurfOptions& options = {});
+
+}  // namespace rfid
+
+#endif  // RFID_BASELINE_SMURF_H_

@@ -1,0 +1,180 @@
+#include "baseline/smurf_star.h"
+
+#include <algorithm>
+
+namespace rfid {
+
+namespace {
+
+/// Top-k keys of a count map, ordered by decreasing count (ties by tag id
+/// for determinism).
+std::vector<TagId> TopK(const std::unordered_map<TagId, double>& counts,
+                        int k) {
+  std::vector<std::pair<TagId, double>> pairs(counts.begin(), counts.end());
+  std::sort(pairs.begin(), pairs.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<TagId> out;
+  for (int i = 0; i < k && i < static_cast<int>(pairs.size()); ++i) {
+    out.push_back(pairs[static_cast<size_t>(i)].first);
+  }
+  return out;
+}
+
+bool Disjoint(const std::vector<TagId>& a, const std::vector<TagId>& b) {
+  for (TagId x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SmurfStar::SmurfStar(const InterrogationSchedule* schedule,
+                     SmurfStarOptions options)
+    : schedule_(schedule), options_(options) {}
+
+Status SmurfStar::Run(const Trace& trace, Epoch begin, Epoch end) {
+  if (!trace.sealed()) {
+    return Status::InvalidArgument("trace must be sealed");
+  }
+  if (end < begin) {
+    return Status::InvalidArgument("empty window");
+  }
+  tracks_.clear();
+  containers_.clear();
+  changes_.clear();
+
+  std::vector<TagId> items, cases;
+  for (TagId tag : trace.Tags()) {
+    if (tag.is_item()) items.push_back(tag);
+    if (tag.is_case()) cases.push_back(tag);
+    tracks_.emplace(tag, SmurfSmooth(trace.HistoryOf(tag), *schedule_, begin,
+                                     end, options_.smurf));
+  }
+
+  // Invert case tracks into per-epoch location buckets so each item only
+  // meets the cases at its own location.
+  const size_t span = static_cast<size_t>(end - begin + 1);
+  std::vector<std::unordered_map<LocationId, std::vector<TagId>>> cases_at(
+      span);
+  for (TagId c : cases) {
+    const SmoothedTrack& track = tracks_.at(c);
+    for (size_t k = 0; k < span; ++k) {
+      const LocationId where = track.locs[k];
+      if (where != kNoLocation) cases_at[k][where].push_back(c);
+    }
+  }
+
+  for (TagId item : items) {
+    const SmoothedTrack& it = tracks_.at(item);
+    // Co-location counts per case, cumulative over time, sampled so prefix
+    // counts at candidate change epochs are available.
+    std::unordered_map<TagId, double> total;
+    std::unordered_map<TagId, std::vector<double>> prefix;
+    std::vector<Epoch> checkpoints;
+    for (Epoch t = begin; t <= end; t += options_.change_check_stride) {
+      checkpoints.push_back(t);
+    }
+    size_t next_cp = 0;
+    for (size_t k = 0; k < span; ++k) {
+      const Epoch t = begin + static_cast<Epoch>(k);
+      const LocationId where = it.locs[k];
+      if (where != kNoLocation) {
+        auto bucket = cases_at[k].find(where);
+        if (bucket != cases_at[k].end()) {
+          // Crowding-corrected count (1/k per k co-located cases), so that
+          // exclusive co-location (belt) is not drowned out by shelf
+          // epochs where several cases tie. Without this the "most
+          // frequently co-located case" degenerates to a 1-in-k guess
+          // among shelf mates.
+          const double w =
+              1.0 / static_cast<double>(bucket->second.size());
+          for (TagId c : bucket->second) total[c] += w;
+        }
+      }
+      while (next_cp < checkpoints.size() && checkpoints[next_cp] == t) {
+        for (const auto& [c, count] : total) {
+          auto& vec = prefix[c];
+          vec.resize(checkpoints.size(), 0);
+          vec[next_cp] = count;
+        }
+        ++next_cp;
+      }
+    }
+    if (total.empty()) {
+      containers_[item] = kNoTag;
+      continue;
+    }
+
+    // Change check at every checkpoint: top-k before vs after t.
+    Epoch change_at = -1;
+    for (size_t cp = 1; cp + 1 < checkpoints.size(); ++cp) {
+      std::unordered_map<TagId, double> before, after;
+      for (const auto& [c, count] : total) {
+        auto pit = prefix.find(c);
+        double upto = 0;
+        if (pit != prefix.end() && cp < pit->second.size()) {
+          upto = pit->second[cp];
+          // A checkpoint before any co-location leaves zeros; prefix is
+          // cumulative so missing means 0.
+        }
+        if (upto > 0) before[c] = upto;
+        if (count - upto > 0) after[c] = count - upto;
+      }
+      if (before.empty() || after.empty()) continue;
+      TagId best_before = TopK(before, 1)[0];
+      TagId best_after = TopK(after, 1)[0];
+      if (best_before == best_after) continue;
+      if (Disjoint(TopK(before, options_.top_k),
+                   TopK(after, options_.top_k))) {
+        change_at = checkpoints[cp];
+        break;
+      }
+    }
+
+    if (change_at >= 0) {
+      // Most co-located case from the change to the present.
+      size_t cp = 0;
+      while (cp < checkpoints.size() && checkpoints[cp] < change_at) ++cp;
+      std::unordered_map<TagId, double> after;
+      for (const auto& [c, count] : total) {
+        auto pit = prefix.find(c);
+        double upto = (pit != prefix.end() && cp < pit->second.size())
+                          ? pit->second[cp]
+                          : 0;
+        if (count - upto > 0) after[c] = count - upto;
+      }
+      TagId chosen = after.empty() ? TopK(total, 1)[0] : TopK(after, 1)[0];
+      containers_[item] = chosen;
+      changes_.push_back(SmurfStarChange{item, change_at, chosen});
+    } else {
+      containers_[item] = TopK(total, 1)[0];
+    }
+  }
+  return Status::OK();
+}
+
+TagId SmurfStar::ContainerOf(TagId item) const {
+  auto it = containers_.find(item);
+  return it == containers_.end() ? kNoTag : it->second;
+}
+
+LocationId SmurfStar::LocationOf(TagId tag, Epoch t) const {
+  auto it = tracks_.find(tag);
+  if (it == tracks_.end()) return kNoLocation;
+  const SmoothedTrack& track = it->second;
+  // Carry forward the latest non-absent estimate at or before t.
+  const int64_t max_idx =
+      std::min<int64_t>(t - track.begin,
+                        static_cast<int64_t>(track.locs.size()) - 1);
+  for (int64_t k = max_idx; k >= 0; --k) {
+    if (track.locs[static_cast<size_t>(k)] != kNoLocation) {
+      return track.locs[static_cast<size_t>(k)];
+    }
+  }
+  return kNoLocation;
+}
+
+}  // namespace rfid

@@ -1,0 +1,76 @@
+// SMURF*: the comparison baseline of Appendix C.3.
+//
+// "This method first uses SMURF to smooth raw readings of objects to
+// estimate their locations individually. The adaptive window used in SMURF
+// is further stored for containment inference and change detection: Within
+// the adaptive window for each item, at a particular time t, if the most
+// frequently co-located case before time t is the same as that after time
+// t, then there is no containment change, and the most frequently co-located
+// case is chosen to be the true container. Otherwise, we further check if
+// none of the top-k co-located cases before time t is in the set of top-k
+// co-located cases after t. If so, we report a containment change for this
+// item at time t, and pick the case that is most co-located with the item in
+// the period from t to the present."
+//
+// Co-location here is between *smoothed* per-epoch locations: an item and a
+// case are co-located at t when both are estimated present at the same
+// location.
+#ifndef RFID_BASELINE_SMURF_STAR_H_
+#define RFID_BASELINE_SMURF_STAR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/smurf.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "model/schedule.h"
+#include "trace/trace.h"
+
+namespace rfid {
+
+struct SmurfStarOptions {
+  SmurfOptions smurf;
+  /// Top-k set size for the containment-change check.
+  int top_k = 3;
+  /// Epoch stride at which candidate change times t are evaluated.
+  Epoch change_check_stride = 10;
+};
+
+/// A containment change reported by SMURF*.
+struct SmurfStarChange {
+  TagId item;
+  Epoch time = 0;
+  TagId new_container;
+};
+
+/// Runs SMURF smoothing on every tag and heuristic containment inference on
+/// top (case-kind tags are containers, item-kind tags objects).
+class SmurfStar {
+ public:
+  SmurfStar(const InterrogationSchedule* schedule,
+            SmurfStarOptions options = {});
+
+  /// Processes readings with epochs in [begin, end]. Trace must be sealed.
+  Status Run(const Trace& trace, Epoch begin, Epoch end);
+
+  /// Inferred container of an item (kNoTag when never co-located).
+  TagId ContainerOf(TagId item) const;
+
+  /// Smoothed location of any tag at epoch t (carry-forward: latest
+  /// non-absent estimate at or before t).
+  LocationId LocationOf(TagId tag, Epoch t) const;
+
+  const std::vector<SmurfStarChange>& changes() const { return changes_; }
+
+ private:
+  const InterrogationSchedule* schedule_;
+  SmurfStarOptions options_;
+  std::unordered_map<TagId, SmoothedTrack> tracks_;
+  std::unordered_map<TagId, TagId> containers_;
+  std::vector<SmurfStarChange> changes_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_BASELINE_SMURF_STAR_H_

@@ -1,0 +1,54 @@
+#include "common/compress.h"
+
+#include <zlib.h>
+
+#include <limits>
+
+namespace rfid {
+
+Status Compress(const std::vector<uint8_t>& input, std::vector<uint8_t>* out,
+                int level) {
+  if (level < 1 || level > 9) {
+    return Status::InvalidArgument("zlib level must be in [1,9]");
+  }
+  uLong bound = compressBound(static_cast<uLong>(input.size()));
+  out->resize(bound);
+  uLongf dest_len = bound;
+  int rc = compress2(out->data(), &dest_len,
+                     input.empty() ? reinterpret_cast<const Bytef*>("")
+                                   : input.data(),
+                     static_cast<uLong>(input.size()), level);
+  if (rc != Z_OK) {
+    return Status::Internal("zlib compress2 failed with code " +
+                            std::to_string(rc));
+  }
+  out->resize(dest_len);
+  return Status::OK();
+}
+
+Status Decompress(const std::vector<uint8_t>& input,
+                  std::vector<uint8_t>* out) {
+  // Grow the output buffer geometrically until inflate succeeds.
+  uLongf dest_len =
+      static_cast<uLongf>(std::max<size_t>(input.size() * 4, 64));
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    out->resize(dest_len);
+    uLongf actual = dest_len;
+    int rc = uncompress(out->data(), &actual, input.data(),
+                        static_cast<uLong>(input.size()));
+    if (rc == Z_OK) {
+      out->resize(actual);
+      return Status::OK();
+    }
+    if (rc == Z_BUF_ERROR) {
+      if (dest_len > std::numeric_limits<uLongf>::max() / 2) break;
+      dest_len *= 2;
+      continue;
+    }
+    return Status::Corruption("zlib uncompress failed with code " +
+                              std::to_string(rc));
+  }
+  return Status::ResourceExhausted("decompressed output too large");
+}
+
+}  // namespace rfid

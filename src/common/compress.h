@@ -1,0 +1,26 @@
+// zlib compression wrapper.
+//
+// Table 5 of the paper compares distributed state migration against a
+// centralized baseline that ships all raw readings "with simple gzip
+// compression of data"; this wrapper provides that baseline's compressor.
+#ifndef RFID_COMMON_COMPRESS_H_
+#define RFID_COMMON_COMPRESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rfid {
+
+/// Deflates `input` at the given zlib level (1..9). Output replaces `*out`.
+Status Compress(const std::vector<uint8_t>& input, std::vector<uint8_t>* out,
+                int level = 6);
+
+/// Inflates `input` produced by Compress. Output replaces `*out`.
+Status Decompress(const std::vector<uint8_t>& input,
+                  std::vector<uint8_t>* out);
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_COMPRESS_H_

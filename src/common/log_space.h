@@ -1,0 +1,57 @@
+// Log-space probability helpers.
+//
+// All likelihood and evidence computation in the inference engine (Eqs. 3-7
+// of the paper) is carried out in natural-log space to avoid underflow over
+// long traces. Zero probabilities are floored at kLogFloor, matching the
+// implicit smoothing any real deployment needs: a reader has a tiny but
+// nonzero chance of reading a tag that is "out of range", so one stray read
+// must not veto a location outright.
+#ifndef RFID_COMMON_LOG_SPACE_H_
+#define RFID_COMMON_LOG_SPACE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+
+namespace rfid {
+
+/// Floor for log-probabilities; exp(kLogFloor) ~ 1e-8.
+inline constexpr double kLogFloor = -18.420680743952367;  // log(1e-8)
+
+/// Probability floor corresponding to kLogFloor.
+inline constexpr double kProbFloor = 1e-8;
+
+/// log(p) with flooring so that SafeLog(0) == kLogFloor.
+inline double SafeLog(double p) {
+  return std::log(std::max(p, kProbFloor));
+}
+
+/// log(1-p) with the same floor.
+inline double SafeLog1m(double p) {
+  return std::log(std::max(1.0 - p, kProbFloor));
+}
+
+/// Numerically stable log(sum_i exp(xs[i])). Returns -inf for empty input.
+inline double LogSumExp(std::span<const double> xs) {
+  if (xs.empty()) return -std::numeric_limits<double>::infinity();
+  double mx = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(mx)) return mx;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - mx);
+  return mx + std::log(sum);
+}
+
+/// Normalizes log-weights in place into a probability distribution.
+/// Returns the normalizing constant log Z. Inputs of -inf get probability 0.
+inline double NormalizeLogWeights(std::span<double> log_w) {
+  double lz = LogSumExp(log_w);
+  for (double& w : log_w) {
+    w = std::isfinite(lz) ? std::exp(w - lz) : 0.0;
+  }
+  return lz;
+}
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_LOG_SPACE_H_

@@ -1,0 +1,96 @@
+// Evaluation metrics used throughout Section 5 / Appendix C.1 of the paper:
+// error rate (vs. ground truth), and precision/recall/F-measure for
+// change-point detection.
+#ifndef RFID_COMMON_METRICS_H_
+#define RFID_COMMON_METRICS_H_
+
+#include <cstdint>
+
+namespace rfid {
+
+/// Accumulates right/wrong decisions and reports the error rate in percent,
+/// as plotted on the paper's y-axes.
+class ErrorRate {
+ public:
+  void Add(bool correct) {
+    ++total_;
+    if (!correct) ++errors_;
+  }
+  void AddCounts(int64_t errors, int64_t total) {
+    errors_ += errors;
+    total_ += total;
+  }
+
+  int64_t errors() const { return errors_; }
+  int64_t total() const { return total_; }
+
+  /// Error rate in percent; 0 when empty.
+  double Percent() const {
+    return total_ == 0 ? 0.0 : 100.0 * static_cast<double>(errors_) /
+                                   static_cast<double>(total_);
+  }
+
+ private:
+  int64_t errors_ = 0;
+  int64_t total_ = 0;
+};
+
+/// Precision / recall / F-measure accumulator. The paper combines them as
+/// F = 2*P*R/(P+R) (Appendix C.1).
+class FMeasure {
+ public:
+  void AddTruePositive(int64_t n = 1) { tp_ += n; }
+  void AddFalsePositive(int64_t n = 1) { fp_ += n; }
+  void AddFalseNegative(int64_t n = 1) { fn_ += n; }
+
+  int64_t tp() const { return tp_; }
+  int64_t fp() const { return fp_; }
+  int64_t fn() const { return fn_; }
+
+  double Precision() const {
+    return (tp_ + fp_) == 0 ? 0.0
+                            : static_cast<double>(tp_) /
+                                  static_cast<double>(tp_ + fp_);
+  }
+  double Recall() const {
+    return (tp_ + fn_) == 0 ? 0.0
+                            : static_cast<double>(tp_) /
+                                  static_cast<double>(tp_ + fn_);
+  }
+  /// F-measure in percent (paper reports percentages).
+  double Percent() const {
+    double p = Precision();
+    double r = Recall();
+    return (p + r) == 0.0 ? 0.0 : 100.0 * 2.0 * p * r / (p + r);
+  }
+
+ private:
+  int64_t tp_ = 0;
+  int64_t fp_ = 0;
+  int64_t fn_ = 0;
+};
+
+/// Welford online mean/variance, for timing summaries in benches.
+class OnlineStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+  int64_t count() const { return n_; }
+  double Mean() const { return mean_; }
+  double Variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_METRICS_H_

@@ -1,0 +1,12 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace rfid {
+
+double Rng::NextExponential(double mean) {
+  // Inverse CDF on (0,1]; 1 - NextDouble() avoids log(0).
+  return -mean * std::log(1.0 - NextDouble());
+}
+
+}  // namespace rfid

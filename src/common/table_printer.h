@@ -1,0 +1,39 @@
+// Console table formatting for bench binaries, so each bench prints the same
+// rows/series the paper's tables and figures report.
+#ifndef RFID_COMMON_TABLE_PRINTER_H_
+#define RFID_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace rfid {
+
+/// Collects rows of string cells and prints them column-aligned.
+///
+/// Usage:
+///   TablePrinter t({"RR", "Containment(%)", "Location(%)"});
+///   t.AddRow({"0.6", "6.8", "0.4"});
+///   t.Print();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision.
+  static std::string Fmt(double v, int precision = 2);
+
+  /// Writes the table to stdout with a separator line under the header.
+  void Print() const;
+
+  /// Renders the table to a string (used by tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,22 @@
+#include "common/types.h"
+
+namespace rfid {
+
+std::string ToString(TagKind kind) {
+  switch (kind) {
+    case TagKind::kItem:
+      return "item";
+    case TagKind::kCase:
+      return "case";
+    case TagKind::kPallet:
+      return "pallet";
+  }
+  return "unknown";
+}
+
+std::string TagId::ToString() const {
+  if (!valid()) return "invalid";
+  return rfid::ToString(kind()) + ":" + std::to_string(serial());
+}
+
+}  // namespace rfid

@@ -1,0 +1,47 @@
+// Offline calibration of the change-point detection threshold delta
+// (Section 3.3): "we can obtain as much of this data as we want, simply by
+// sampling hypothetical observation sequences from the model ... since none
+// of the hypothetical sequences actually contain a change point, if our
+// procedure signals a change point on one of them, it must be a false
+// positive. In practice, all of the hypothetical Delta_o(T) values are
+// quite small, so we choose delta to be their maximum. Furthermore, all of
+// this computation can be done in advance before any RFID data is
+// observed."
+#ifndef RFID_INFERENCE_CALIBRATION_H_
+#define RFID_INFERENCE_CALIBRATION_H_
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "model/read_rate.h"
+#include "model/schedule.h"
+
+namespace rfid {
+
+struct CalibrationConfig {
+  /// Number of hypothetical no-change worlds to sample.
+  int num_samples = 16;
+  /// Horizon of each sampled sequence; should match the history span the
+  /// detector will see (critical region + recent history).
+  Epoch horizon = 600;
+  /// Containers per sampled world. Several containers moving independently
+  /// create the co-location ambiguity that drives false positives.
+  int num_containers = 4;
+  /// Objects per container.
+  int objects_per_container = 5;
+  /// Per-epoch probability that a container relocates.
+  double move_prob = 0.01;
+  /// Safety margin multiplied into the returned threshold.
+  double margin = 1.0;
+};
+
+/// Samples no-change observation sequences from the generative model, runs
+/// RFINFER on each, and returns the largest change statistic observed
+/// (times `margin`). Any threshold at or above the return value yields zero
+/// false positives on the sampled worlds.
+double CalibrateChangeThreshold(const ReadRateModel& model,
+                                const InterrogationSchedule& schedule,
+                                const CalibrationConfig& config, Rng& rng);
+
+}  // namespace rfid
+
+#endif  // RFID_INFERENCE_CALIBRATION_H_

@@ -1,0 +1,74 @@
+// Co-location counting: the bootstrap signal for containment inference.
+//
+// Section 3: "First, we start with the best available information about
+// object locations and have a guess about containment relationships based on
+// co-location." Appendix A.3 (candidate pruning): "we restrict the set of
+// candidate containers to those that were most frequently co-located during
+// the first several epochs ... we also include as candidates the most
+// frequently co-located containers from recent epochs."
+//
+// Two tags are counted as co-located at epoch t when the same reader
+// returned both of them during t.
+#ifndef RFID_INFERENCE_COLOCATION_H_
+#define RFID_INFERENCE_COLOCATION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/trace.h"
+
+namespace rfid {
+
+/// Per-object candidate containers ordered by decreasing co-location score.
+struct CandidateSet {
+  std::vector<TagId> containers;
+  std::vector<double> counts;  ///< aligned with `containers`
+};
+
+/// Counts (object, container) co-locations in `trace` restricted to epochs
+/// [begin, end].
+///
+/// Scores are *exclusivity-weighted*: a co-occurrence within one
+/// (epoch, reader) burst adds 1/k when k containers appear in the burst.
+/// Being read alone with a container at the belt is near-certain evidence
+/// of containment; being read alongside 15 containers on a crowded shelf
+/// says little. Weighting keeps the EM's initial guess from locking onto a
+/// same-shelf confounder whose raw co-occurrence count rivals the true
+/// container's.
+class CoLocationCounter {
+ public:
+  /// Counts pairs where an item-kind tag and a case-kind tag were read by
+  /// the same reader in the same epoch. `exclusivity_weighted` selects the
+  /// 1/k weighting; false gives the paper's plain co-occurrence counts.
+  static CoLocationCounter FromTrace(const Trace& trace, Epoch begin,
+                                     Epoch end,
+                                     bool exclusivity_weighted = true);
+
+  /// As above with explicit roles: `containers` and `objects` are disjoint
+  /// tag sets; other tags in the trace are ignored.
+  static CoLocationCounter FromTraceWithRoles(
+      const Trace& trace, Epoch begin, Epoch end,
+      const std::vector<TagId>& containers, const std::vector<TagId>& objects,
+      bool exclusivity_weighted = true);
+
+  /// Top-k candidate containers for `object` (k <= 0 means all).
+  CandidateSet TopCandidates(TagId object, int k) const;
+
+  /// All objects with at least one co-location.
+  std::vector<TagId> Objects() const;
+
+  /// Weighted score for a pair (0 when never co-located).
+  double CountOf(TagId object, TagId container) const;
+
+  /// Merges counts from another counter (e.g. recent-epoch counts) in place.
+  void Merge(const CoLocationCounter& other);
+
+ private:
+  // object -> (container -> weighted score)
+  std::unordered_map<TagId, std::unordered_map<TagId, double>> counts_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_INFERENCE_COLOCATION_H_

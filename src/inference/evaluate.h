@@ -1,0 +1,82 @@
+// Scoring of inference output against simulator ground truth, implementing
+// the metrics of Appendix C.1: error rate (containment and location) and
+// precision/recall/F-measure for change-point detection.
+#ifndef RFID_INFERENCE_EVALUATE_H_
+#define RFID_INFERENCE_EVALUATE_H_
+
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "inference/rfinfer.h"
+#include "trace/ground_truth.h"
+
+namespace rfid {
+
+/// Fraction (in percent) of `objects` whose inferred container differs from
+/// the true container at epoch `at`. Objects absent from the ground truth
+/// at `at` (departed/removed) are skipped.
+double ContainmentErrorPercent(const RFInfer& engine, const GroundTruth& truth,
+                               const std::vector<TagId>& objects, Epoch at);
+
+/// As above but against an arbitrary belief function (e.g. the streaming
+/// driver's change-override view).
+template <typename BeliefFn>
+double ContainmentErrorPercentOf(BeliefFn&& believed_container,
+                                 const GroundTruth& truth,
+                                 const std::vector<TagId>& objects, Epoch at) {
+  ErrorRate err;
+  for (TagId o : objects) {
+    if (!truth.PresentAt(o, at)) continue;
+    TagId truth_container = truth.ContainerAt(o, at);
+    err.Add(believed_container(o) == truth_container);
+  }
+  return err.Percent();
+}
+
+/// Location error (percent) of `tags`, sampled at `stride`-spaced epochs in
+/// [begin, end]: the MAP location estimate (with carry-forward) versus the
+/// true location. Epochs where the tag is absent or the engine has no
+/// estimate yet are skipped.
+double LocationErrorPercent(const RFInfer& engine, const GroundTruth& truth,
+                            const std::vector<TagId>& tags, Epoch begin,
+                            Epoch end, Epoch stride = 10);
+
+/// As above against an arbitrary location estimator (e.g. the streaming
+/// driver's cross-run track).
+template <typename LocFn>
+double LocationErrorPercentOf(LocFn&& location_at, const GroundTruth& truth,
+                              const std::vector<TagId>& tags, Epoch begin,
+                              Epoch end, Epoch stride = 10) {
+  ErrorRate err;
+  for (TagId tag : tags) {
+    for (Epoch t = begin; t <= end; t += stride) {
+      if (!truth.PresentAt(tag, t)) continue;
+      const LocationId truth_loc = truth.LocationAt(tag, t);
+      if (truth_loc == kNoLocation) continue;
+      const LocationId est = location_at(tag, t);
+      if (est == kNoLocation) continue;
+      err.Add(est == truth_loc);
+    }
+  }
+  return err.Percent();
+}
+
+/// One true containment change for F-measure scoring.
+struct TrueChange {
+  Epoch time = 0;
+  TagId object;
+  TagId to;  ///< new container (kNoTag for removals)
+};
+
+/// Matches reported change points to true changes: a report (o, t) matches
+/// an unmatched truth record (o, t*) when |t - t*| <= tolerance. Reports
+/// additionally require the post-change container to be correct when
+/// `require_container` is set.
+FMeasure ScoreChangeDetection(const std::vector<ChangePointResult>& reported,
+                              const std::vector<TrueChange>& truth,
+                              Epoch tolerance, bool require_container = false);
+
+}  // namespace rfid
+
+#endif  // RFID_INFERENCE_EVALUATE_H_

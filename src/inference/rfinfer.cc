@@ -1,0 +1,889 @@
+#include "inference/rfinfer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/log_space.h"
+#include "inference/colocation.h"
+
+namespace rfid {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Sorts by begin and merges overlapping or adjacent intervals.
+std::vector<EpochInterval> NormalizeIntervals(
+    std::vector<EpochInterval> intervals) {
+  std::vector<EpochInterval> kept;
+  for (const EpochInterval& iv : intervals) {
+    if (!iv.empty()) kept.push_back(iv);
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const EpochInterval& a, const EpochInterval& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<EpochInterval> out;
+  for (const EpochInterval& iv : kept) {
+    if (!out.empty() && iv.begin <= out.back().end + 1) {
+      out.back().end = std::max(out.back().end, iv.end);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+bool InIntervals(const std::vector<EpochInterval>& ivs, Epoch t) {
+  for (const EpochInterval& iv : ivs) {
+    if (t < iv.begin) return false;
+    if (t <= iv.end) return true;
+  }
+  return false;
+}
+
+/// Intersects interval set with [from, +inf).
+std::vector<EpochInterval> ClipFrom(std::vector<EpochInterval> ivs,
+                                    Epoch from) {
+  std::vector<EpochInterval> out;
+  for (EpochInterval iv : ivs) {
+    if (iv.end < from) continue;
+    iv.begin = std::max(iv.begin, from);
+    out.push_back(iv);
+  }
+  return out;
+}
+
+uint64_t HashIndices(const std::vector<int>& xs) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int x : xs) {
+    h ^= static_cast<uint64_t>(x) + 0x9e3779b97f4a7c15ULL;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+RFInfer::RFInfer(const ReadRateModel* model,
+                 const InterrogationSchedule* schedule,
+                 InferenceOptions options)
+    : model_(model), schedule_(schedule), options_(options) {
+  assert(model_->num_locations() == schedule_->num_locations());
+}
+
+void RFInfer::SetUniverse(std::vector<TagId> containers,
+                          std::vector<TagId> objects) {
+  explicit_universe_ = true;
+  container_tags_ = std::move(containers);
+  object_tags_ = std::move(objects);
+  std::sort(container_tags_.begin(), container_tags_.end());
+  std::sort(object_tags_.begin(), object_tags_.end());
+}
+
+void RFInfer::SetObjectContext(TagId object, ObjectContext context) {
+  contexts_[object] = std::move(context);
+}
+
+void RFInfer::ClearObjectContexts() { contexts_.clear(); }
+
+int RFInfer::ObjectIndexOf(TagId tag) const {
+  auto it = object_index_.find(tag);
+  return it == object_index_.end() ? -1 : it->second;
+}
+
+int RFInfer::ContainerIndexOf(TagId tag) const {
+  auto it = container_index_.find(tag);
+  return it == container_index_.end() ? -1 : it->second;
+}
+
+void RFInfer::BuildUniverse(const Trace& trace) {
+  if (!explicit_universe_) {
+    container_tags_.clear();
+    object_tags_.clear();
+    for (TagId tag : trace.Tags()) {
+      if (tag.is_case()) container_tags_.push_back(tag);
+      if (tag.is_item()) object_tags_.push_back(tag);
+    }
+  }
+  containers_.clear();
+  objects_.clear();
+  container_index_.clear();
+  object_index_.clear();
+  containers_.resize(container_tags_.size());
+  objects_.resize(object_tags_.size());
+  for (size_t i = 0; i < container_tags_.size(); ++i) {
+    containers_[i].tag = container_tags_[i];
+    container_index_[container_tags_[i]] = static_cast<int>(i);
+  }
+  for (size_t i = 0; i < object_tags_.size(); ++i) {
+    objects_[i].tag = object_tags_[i];
+    object_index_[object_tags_[i]] = static_cast<int>(i);
+  }
+
+  // Per-object universe: the run window (clipped at the object's barrier)
+  // plus the object's critical region.
+  for (ObjectData& o : objects_) {
+    Epoch barrier = -1;
+    std::optional<EpochInterval> cr;
+    auto it = contexts_.find(o.tag);
+    if (it != contexts_.end()) {
+      barrier = it->second.barrier;
+      cr = it->second.critical_region;
+    }
+    std::vector<EpochInterval> ivs;
+    ivs.push_back(window_);
+    if (cr.has_value()) ivs.push_back(*cr);
+    o.universe = ClipFrom(NormalizeIntervals(std::move(ivs)),
+                          std::max<Epoch>(barrier, 0));
+    // Epochs before the object's first reading carry no information about
+    // its containment -- the tag did not exist in the reader field yet, and
+    // counting "missed" interrogations from that era would bias weights
+    // toward whichever candidate's idle posterior happens to be flatter.
+    const auto& history = trace.HistoryOf(o.tag);
+    if (history.empty()) {
+      o.universe.clear();
+    } else {
+      o.universe = ClipFrom(std::move(o.universe), history.front().time);
+    }
+  }
+}
+
+void RFInfer::BuildCandidates(const Trace& trace) {
+  // Candidate pruning (Appendix A.3): most co-located containers during the
+  // first epochs, during recent epochs, and overall.
+  const Epoch init_end =
+      std::min(window_.end, window_.begin + options_.candidate_init_window);
+  const Epoch recent_begin =
+      std::max(window_.begin, window_.end - options_.candidate_recent_window);
+
+  // Span count over everything available (window plus any critical region):
+  // readings outside the caller-retained history are not in the trace.
+  Epoch span_begin = window_.begin;
+  for (const ObjectData& o : objects_) {
+    for (const EpochInterval& iv : o.universe) {
+      span_begin = std::min(span_begin, iv.begin);
+    }
+  }
+
+  CoLocationCounter full;
+  CoLocationCounter init;
+  CoLocationCounter recent;
+  const bool weighted = options_.exclusivity_weighted_init;
+  if (explicit_universe_) {
+    full = CoLocationCounter::FromTraceWithRoles(
+        trace, span_begin, window_.end, container_tags_, object_tags_,
+        weighted);
+    init = CoLocationCounter::FromTraceWithRoles(
+        trace, window_.begin, init_end, container_tags_, object_tags_,
+        weighted);
+    recent = CoLocationCounter::FromTraceWithRoles(
+        trace, recent_begin, window_.end, container_tags_, object_tags_,
+        weighted);
+  } else {
+    full = CoLocationCounter::FromTrace(trace, span_begin, window_.end,
+                                        weighted);
+    init = CoLocationCounter::FromTrace(trace, window_.begin, init_end,
+                                        weighted);
+    recent = CoLocationCounter::FromTrace(trace, recent_begin, window_.end,
+                                          weighted);
+  }
+
+  const int k = options_.max_candidates;
+  for (ObjectData& o : objects_) {
+    std::vector<TagId> cand_tags;
+    auto add_from = [&](const CandidateSet& set) {
+      for (TagId c : set.containers) {
+        if (std::find(cand_tags.begin(), cand_tags.end(), c) ==
+            cand_tags.end()) {
+          cand_tags.push_back(c);
+        }
+      }
+    };
+    add_from(full.TopCandidates(o.tag, k));
+    add_from(init.TopCandidates(o.tag, k));
+    add_from(recent.TopCandidates(o.tag, k));
+    // Imported collapsed priors name containers that must stay candidates.
+    auto ctx = contexts_.find(o.tag);
+    if (ctx != contexts_.end()) {
+      for (const auto& [ctag, unused] : ctx->second.prior_weights) {
+        if (ContainerIndexOf(ctag) >= 0 &&
+            std::find(cand_tags.begin(), cand_tags.end(), ctag) ==
+                cand_tags.end()) {
+          cand_tags.push_back(ctag);
+        }
+      }
+    }
+    o.candidates.clear();
+    o.priors.clear();
+    bool has_prior = false;
+    for (TagId ctag : cand_tags) {
+      int ci = ContainerIndexOf(ctag);
+      if (ci < 0) continue;
+      o.candidates.push_back(ci);
+      double prior = 0.0;
+      if (ctx != contexts_.end()) {
+        for (const auto& [ptag, w] : ctx->second.prior_weights) {
+          if (ptag == ctag) {
+            prior = w;
+            has_prior = true;
+          }
+        }
+      }
+      o.priors.push_back(prior);
+    }
+    if (has_prior) {
+      // Transferred weights are relative log-evidence; a candidate absent
+      // from the transferred list was *less* co-located over the old
+      // period than every retained candidate, not neutrally so. Give the
+      // absent ones a below-minimum prior, otherwise their implicit zero
+      // out-bids the genuinely endorsed (large-negative) candidates.
+      double min_prior = 0.0;
+      bool first = true;
+      for (size_t j = 0; j < o.priors.size(); ++j) {
+        if (o.priors[j] == 0.0) continue;
+        if (first || o.priors[j] < min_prior) min_prior = o.priors[j];
+        first = false;
+      }
+      constexpr double kAbsentMargin = 20.0;
+      for (size_t j = 0; j < o.priors.size(); ++j) {
+        if (o.priors[j] == 0.0) o.priors[j] = min_prior - kAbsentMargin;
+      }
+    }
+    o.weights.assign(o.candidates.size(), kNegInf);
+    // Initial guess: the imported prior winner if present, else the most
+    // co-located candidate (candidates are ordered by overall count first).
+    o.assigned = o.candidates.empty() ? -1 : 0;
+    if (ctx != contexts_.end() && !ctx->second.prior_weights.empty()) {
+      double best = kNegInf;
+      for (size_t j = 0; j < o.candidates.size(); ++j) {
+        if (o.priors[j] != 0.0 && o.priors[j] > best) {
+          best = o.priors[j];
+          o.assigned = static_cast<int>(j);
+        }
+      }
+    }
+  }
+
+  // Container universes: the window plus the critical regions of every
+  // object that lists the container as a candidate.
+  for (ContainerData& c : containers_) {
+    c.universe.assign(1, window_);
+  }
+  for (const ObjectData& o : objects_) {
+    for (const EpochInterval& iv : o.universe) {
+      for (int ci : o.candidates) {
+        containers_[static_cast<size_t>(ci)].universe.push_back(iv);
+      }
+    }
+  }
+  for (ContainerData& c : containers_) {
+    c.universe = NormalizeIntervals(std::move(c.universe));
+    c.computed = false;
+    c.member_hash = 0;
+    c.objects.clear();
+  }
+  // Install the initial assignment into the containers.
+  for (size_t oi = 0; oi < objects_.size(); ++oi) {
+    const ObjectData& o = objects_[oi];
+    if (o.assigned >= 0) {
+      containers_[static_cast<size_t>(o.candidates[static_cast<size_t>(
+                      o.assigned)])]
+          .objects.push_back(static_cast<int>(oi));
+    }
+  }
+}
+
+void RFInfer::BuildReadCaches(const Trace& trace) {
+  for (ObjectData& o : objects_) {
+    o.reads.clear();
+    for (const TagRead& tr : trace.HistoryOf(o.tag)) {
+      if (InIntervals(o.universe, tr.time)) o.reads.push_back(tr);
+    }
+  }
+  for (ContainerData& c : containers_) {
+    c.own_reads.clear();
+    for (const TagRead& tr : trace.HistoryOf(c.tag)) {
+      if (InIntervals(c.universe, tr.time)) c.own_reads.push_back(tr);
+    }
+  }
+}
+
+void RFInfer::ComputeContainer(ContainerData& c) {
+  const uint64_t hash = HashIndices(c.objects);
+  if (options_.memoize && c.computed && hash == c.member_hash) return;
+  c.member_hash = hash;
+
+  const int R = model_->num_locations();
+  const int n_cls = schedule_->num_classes();
+  const double group_size = 1.0 + static_cast<double>(c.objects.size());
+
+  // Gather all reads of the container and its assigned objects, grouped by
+  // epoch. Object reads are pre-filtered to the object universe, which is a
+  // subset of the container universe for candidates; containment applies
+  // only when the object lists c as candidate, which assignment guarantees.
+  std::vector<TagRead> reads = c.own_reads;
+  for (int oi : c.objects) {
+    const auto& ors = objects_[static_cast<size_t>(oi)].reads;
+    reads.insert(reads.end(), ors.begin(), ors.end());
+  }
+  std::sort(reads.begin(), reads.end());
+
+  c.act_epochs.clear();
+  c.q_act.clear();
+  c.act_map.clear();
+  c.act_m.clear();
+  c.sum_act_lz = 0.0;
+
+  std::vector<double> logw(static_cast<size_t>(R));
+  size_t i = 0;
+  while (i < reads.size()) {
+    const Epoch t = reads[i].time;
+    const int cls = schedule_->ClassOf(t);
+    for (LocationId a = 0; a < R; ++a) {
+      logw[static_cast<size_t>(a)] =
+          group_size * schedule_->LogMissAllClass(a, cls);
+    }
+    size_t j = i;
+    while (j < reads.size() && reads[j].time == t) {
+      const LocationId r = reads[j].reader;
+      for (LocationId a = 0; a < R; ++a) {
+        logw[static_cast<size_t>(a)] += model_->LogReadAdjust(r, a);
+      }
+      ++j;
+    }
+    const double lz = NormalizeLogWeights(logw);
+    c.sum_act_lz += lz;
+    c.act_epochs.push_back(t);
+    LocationId best = 0;
+    double best_q = -1.0;
+    double m = 0.0;
+    for (LocationId a = 0; a < R; ++a) {
+      const double q = logw[static_cast<size_t>(a)];
+      c.q_act.push_back(q);
+      m += q * schedule_->LogMissAllClass(a, cls);
+      if (q > best_q) {
+        best_q = q;
+        best = a;
+      }
+    }
+    c.act_m.push_back(m);
+    c.act_map.push_back(best);
+    i = j;
+  }
+
+  // Idle classes: the posterior of any epoch in which no group member was
+  // read depends only on the schedule class.
+  c.q_idle.assign(static_cast<size_t>(n_cls) * static_cast<size_t>(R), 0.0);
+  c.m_idle.assign(static_cast<size_t>(n_cls), 0.0);
+  c.lz_idle.assign(static_cast<size_t>(n_cls), 0.0);
+  for (int cls = 0; cls < n_cls; ++cls) {
+    for (LocationId a = 0; a < R; ++a) {
+      logw[static_cast<size_t>(a)] =
+          group_size * schedule_->LogMissAllClass(a, cls);
+    }
+    const double lz = NormalizeLogWeights(logw);
+    c.lz_idle[static_cast<size_t>(cls)] = lz;
+    double m = 0.0;
+    for (LocationId a = 0; a < R; ++a) {
+      const double q = logw[static_cast<size_t>(a)];
+      c.q_idle[static_cast<size_t>(cls) * static_cast<size_t>(R) +
+               static_cast<size_t>(a)] = q;
+      m += q * schedule_->LogMissAllClass(a, cls);
+    }
+    c.m_idle[static_cast<size_t>(cls)] = m;
+  }
+
+  // Prefix sums of active-epoch excess over the idle constant, the kernel
+  // behind O(1) interval sums in SumM.
+  c.act_excess_prefix.assign(c.act_epochs.size() + 1, 0.0);
+  for (size_t k = 0; k < c.act_epochs.size(); ++k) {
+    const int cls = schedule_->ClassOf(c.act_epochs[k]);
+    c.act_excess_prefix[k + 1] =
+        c.act_excess_prefix[k] + c.act_m[k] -
+        c.m_idle[static_cast<size_t>(cls)];
+  }
+  c.computed = true;
+}
+
+void RFInfer::EStep() {
+  for (ContainerData& c : containers_) {
+    ComputeContainer(c);
+  }
+}
+
+double RFInfer::SumM(const ContainerData& c,
+                     const EpochInterval& interval) const {
+  if (interval.empty()) return 0.0;
+  double total = 0.0;
+  const int n_cls = schedule_->num_classes();
+  for (int cls = 0; cls < n_cls; ++cls) {
+    const int64_t count =
+        schedule_->CountClassInRange(cls, interval.begin, interval.end);
+    if (count > 0) {
+      total += static_cast<double>(count) *
+               c.m_idle[static_cast<size_t>(cls)];
+    }
+  }
+  const auto lo = std::lower_bound(c.act_epochs.begin(), c.act_epochs.end(),
+                                   interval.begin);
+  const auto hi = std::upper_bound(c.act_epochs.begin(), c.act_epochs.end(),
+                                   interval.end);
+  const size_t lo_i = static_cast<size_t>(lo - c.act_epochs.begin());
+  const size_t hi_i = static_cast<size_t>(hi - c.act_epochs.begin());
+  total += c.act_excess_prefix[hi_i] - c.act_excess_prefix[lo_i];
+  return total;
+}
+
+const double* RFInfer::PosteriorAt(const ContainerData& c, Epoch t) const {
+  const int R = model_->num_locations();
+  const auto it =
+      std::lower_bound(c.act_epochs.begin(), c.act_epochs.end(), t);
+  if (it != c.act_epochs.end() && *it == t) {
+    const size_t idx = static_cast<size_t>(it - c.act_epochs.begin());
+    return &c.q_act[idx * static_cast<size_t>(R)];
+  }
+  return &c.q_idle[static_cast<size_t>(schedule_->ClassOf(t)) *
+                   static_cast<size_t>(R)];
+}
+
+double RFInfer::DotAdjust(const double* q, LocationId r) const {
+  const int R = model_->num_locations();
+  double dot = 0.0;
+  for (LocationId a = 0; a < R; ++a) {
+    dot += q[static_cast<size_t>(a)] * model_->LogReadAdjust(r, a);
+  }
+  return dot;
+}
+
+double RFInfer::ComputeWeight(const ObjectData& o, int container_index) const {
+  const ContainerData& c = containers_[static_cast<size_t>(container_index)];
+  double w = 0.0;
+  for (const EpochInterval& iv : o.universe) {
+    w += SumM(c, iv);
+  }
+  for (const TagRead& tr : o.reads) {
+    w += DotAdjust(PosteriorAt(c, tr.time), tr.reader);
+  }
+  return w;
+}
+
+bool RFInfer::MStep() {
+  bool changed = false;
+  for (ObjectData& o : objects_) {
+    double best = kNegInf;
+    int best_j = -1;
+    for (size_t j = 0; j < o.candidates.size(); ++j) {
+      const double w =
+          o.priors[j] + ComputeWeight(o, o.candidates[j]);
+      o.weights[j] = w;
+      if (w > best) {
+        best = w;
+        best_j = static_cast<int>(j);
+      }
+    }
+    if (best_j != o.assigned) {
+      o.assigned = best_j;
+      changed = true;
+    }
+  }
+  // Rebuild container membership from the new assignment.
+  for (ContainerData& c : containers_) c.objects.clear();
+  for (size_t oi = 0; oi < objects_.size(); ++oi) {
+    const ObjectData& o = objects_[oi];
+    if (o.assigned >= 0) {
+      containers_[static_cast<size_t>(
+                      o.candidates[static_cast<size_t>(o.assigned)])]
+          .objects.push_back(static_cast<int>(oi));
+    }
+  }
+  return changed;
+}
+
+double RFInfer::ComputeLogLikelihood() const {
+  double total = 0.0;
+  const int n_cls = schedule_->num_classes();
+  for (const ContainerData& c : containers_) {
+    total += c.sum_act_lz;
+    // Idle epochs: per-class count over the container universe minus the
+    // active epochs of that class.
+    std::vector<int64_t> act_per_class(static_cast<size_t>(n_cls), 0);
+    for (Epoch t : c.act_epochs) {
+      ++act_per_class[static_cast<size_t>(schedule_->ClassOf(t))];
+    }
+    for (int cls = 0; cls < n_cls; ++cls) {
+      int64_t count = 0;
+      for (const EpochInterval& iv : c.universe) {
+        count += schedule_->CountClassInRange(cls, iv.begin, iv.end);
+      }
+      count -= act_per_class[static_cast<size_t>(cls)];
+      if (count > 0) {
+        total += static_cast<double>(count) *
+                 c.lz_idle[static_cast<size_t>(cls)];
+      }
+    }
+  }
+  return total;
+}
+
+Status RFInfer::Run(const Trace& trace, Epoch window_begin, Epoch window_end) {
+  if (!trace.sealed()) {
+    return Status::InvalidArgument("trace must be sealed before inference");
+  }
+  if (window_end < window_begin) {
+    return Status::InvalidArgument("inference window is empty");
+  }
+  trace_ = &trace;
+  window_ = EpochInterval{window_begin, window_end};
+  iterations_used_ = 0;
+  likelihood_history_.clear();
+
+  BuildUniverse(trace);
+  BuildCandidates(trace);
+  BuildReadCaches(trace);
+
+  bool changed = true;
+  for (int iter = 0; iter < options_.max_iterations && changed; ++iter) {
+    EStep();
+    likelihood_history_.push_back(ComputeLogLikelihood());
+    changed = MStep();
+    ++iterations_used_;
+  }
+  if (changed) {
+    // Hit the iteration cap with a fresh assignment: recompute posteriors
+    // once so location estimates and evidence match the final containment.
+    EStep();
+    likelihood_history_.push_back(ComputeLogLikelihood());
+  }
+  log_likelihood_ = likelihood_history_.back();
+  return Status::OK();
+}
+
+TagId RFInfer::ContainerOf(TagId object) const {
+  const int oi = ObjectIndexOf(object);
+  if (oi < 0) return kNoTag;
+  const ObjectData& o = objects_[static_cast<size_t>(oi)];
+  if (o.assigned < 0) return kNoTag;
+  return containers_[static_cast<size_t>(
+                         o.candidates[static_cast<size_t>(o.assigned)])]
+      .tag;
+}
+
+std::vector<TagId> RFInfer::ObjectsOf(TagId container) const {
+  std::vector<TagId> out;
+  const int ci = ContainerIndexOf(container);
+  if (ci < 0) return out;
+  for (int oi : containers_[static_cast<size_t>(ci)].objects) {
+    out.push_back(objects_[static_cast<size_t>(oi)].tag);
+  }
+  return out;
+}
+
+std::vector<TagId> RFInfer::CandidatesOf(TagId object) const {
+  std::vector<TagId> out;
+  const int oi = ObjectIndexOf(object);
+  if (oi < 0) return out;
+  for (int ci : objects_[static_cast<size_t>(oi)].candidates) {
+    out.push_back(containers_[static_cast<size_t>(ci)].tag);
+  }
+  return out;
+}
+
+double RFInfer::WeightOf(TagId object, TagId container) const {
+  const int oi = ObjectIndexOf(object);
+  const int ci = ContainerIndexOf(container);
+  if (oi < 0 || ci < 0) return kNegInf;
+  const ObjectData& o = objects_[static_cast<size_t>(oi)];
+  for (size_t j = 0; j < o.candidates.size(); ++j) {
+    if (o.candidates[j] == ci) return o.weights[j];
+  }
+  return kNegInf;
+}
+
+std::vector<std::pair<TagId, double>> RFInfer::ExportWeights(
+    TagId object) const {
+  std::vector<std::pair<TagId, double>> out;
+  const int oi = ObjectIndexOf(object);
+  if (oi < 0) return out;
+  const ObjectData& o = objects_[static_cast<size_t>(oi)];
+  for (size_t j = 0; j < o.candidates.size(); ++j) {
+    out.emplace_back(containers_[static_cast<size_t>(o.candidates[j])].tag,
+                     o.weights[j]);
+  }
+  return out;
+}
+
+LocationId RFInfer::LocationOf(TagId tag, Epoch t) const {
+  const int ci = ContainerIndexOf(tag);
+  if (ci >= 0) {
+    const ContainerData& c = containers_[static_cast<size_t>(ci)];
+    auto it = std::upper_bound(c.act_epochs.begin(), c.act_epochs.end(), t);
+    if (it == c.act_epochs.begin()) return kNoLocation;
+    const size_t idx = static_cast<size_t>(it - c.act_epochs.begin()) - 1;
+    return c.act_map[idx];
+  }
+  const int oi = ObjectIndexOf(tag);
+  if (oi < 0) return kNoLocation;
+  const ObjectData& o = objects_[static_cast<size_t>(oi)];
+  if (o.assigned >= 0) {
+    return LocationOf(
+        containers_[static_cast<size_t>(
+                        o.candidates[static_cast<size_t>(o.assigned)])]
+            .tag,
+        t);
+  }
+  // Unassigned object: fall back to its own most recent reading.
+  LocationId last = kNoLocation;
+  for (const TagRead& tr : o.reads) {
+    if (tr.time > t) break;
+    last = tr.reader;
+  }
+  return last;
+}
+
+std::vector<ObjectEvent> RFInfer::EmitEvents() const {
+  std::vector<ObjectEvent> events;
+  for (const ContainerData& c : containers_) {
+    for (size_t k = 0; k < c.act_epochs.size(); ++k) {
+      const Epoch t = c.act_epochs[k];
+      if (!window_.Contains(t)) continue;
+      const LocationId loc = c.act_map[k];
+      events.push_back(ObjectEvent{t, c.tag, loc, kNoTag});
+      for (int oi : c.objects) {
+        events.push_back(
+            ObjectEvent{t, objects_[static_cast<size_t>(oi)].tag, loc, c.tag});
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ObjectEvent& a, const ObjectEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.tag < b.tag;
+            });
+  return events;
+}
+
+RFInfer::ScanResult RFInfer::ScanObject(const ObjectData& o) const {
+  ScanResult scan;
+  const size_t n_cand = o.candidates.size();
+  if (n_cand == 0) return scan;
+
+  // Event epochs: any epoch in the object universe where the object or any
+  // candidate container group had a reading.
+  std::vector<Epoch> events;
+  for (const TagRead& tr : o.reads) events.push_back(tr.time);
+  for (int ci : o.candidates) {
+    const ContainerData& c = containers_[static_cast<size_t>(ci)];
+    for (Epoch t : c.act_epochs) {
+      if (InIntervals(o.universe, t)) events.push_back(t);
+    }
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+  scan.events = events;
+  scan.point.assign(events.size() * n_cand, 0.0);
+  scan.cum.assign(events.size() * n_cand, 0.0);
+  scan.total.assign(n_cand, 0.0);
+
+  for (size_t j = 0; j < n_cand; ++j) {
+    const ContainerData& c =
+        containers_[static_cast<size_t>(o.candidates[j])];
+    double cum = 0.0;
+    size_t ev = 0;           // cursor into events
+    size_t read_i = 0;       // cursor into o.reads
+    for (const EpochInterval& iv : o.universe) {
+      Epoch prev = iv.begin - 1;
+      while (ev < events.size() && events[ev] <= iv.end) {
+        const Epoch t = events[ev];
+        if (t < iv.begin) {  // event belongs to an earlier interval gap
+          ++ev;
+          continue;
+        }
+        if (t > prev + 1) {
+          cum += SumM(c, EpochInterval{prev + 1, t - 1});
+        }
+        // Point evidence at t: the miss term plus corrections for the
+        // object's actual reads at t (Eq 7).
+        double point;
+        const auto it =
+            std::lower_bound(c.act_epochs.begin(), c.act_epochs.end(), t);
+        if (it != c.act_epochs.end() && *it == t) {
+          point = c.act_m[static_cast<size_t>(it - c.act_epochs.begin())];
+        } else {
+          point = c.m_idle[static_cast<size_t>(schedule_->ClassOf(t))];
+        }
+        while (read_i < o.reads.size() && o.reads[read_i].time < t) ++read_i;
+        size_t ri = read_i;
+        const double* q = PosteriorAt(c, t);
+        while (ri < o.reads.size() && o.reads[ri].time == t) {
+          point += DotAdjust(q, o.reads[ri].reader);
+          ++ri;
+        }
+        cum += point;
+        scan.point[ev * n_cand + j] = point;
+        scan.cum[ev * n_cand + j] = cum;
+        prev = t;
+        ++ev;
+      }
+      if (iv.end > prev) {
+        cum += SumM(c, EpochInterval{prev + 1, iv.end});
+      }
+    }
+    scan.total[j] = cum;
+    // Reset the event cursor for the next candidate.
+  }
+  return scan;
+}
+
+std::vector<EvidencePoint> RFInfer::EvidenceSeries(TagId object,
+                                                   TagId container) const {
+  std::vector<EvidencePoint> series;
+  const int oi = ObjectIndexOf(object);
+  const int ci = ContainerIndexOf(container);
+  if (oi < 0 || ci < 0) return series;
+  const ObjectData& o = objects_[static_cast<size_t>(oi)];
+  size_t j = o.candidates.size();
+  for (size_t k = 0; k < o.candidates.size(); ++k) {
+    if (o.candidates[k] == ci) j = k;
+  }
+  if (j == o.candidates.size()) return series;
+  const ScanResult scan = ScanObject(o);
+  const size_t n_cand = o.candidates.size();
+  series.reserve(scan.events.size());
+  for (size_t k = 0; k < scan.events.size(); ++k) {
+    series.push_back(EvidencePoint{scan.events[k], scan.point[k * n_cand + j],
+                                   scan.cum[k * n_cand + j]});
+  }
+  return series;
+}
+
+std::optional<ChangePointResult> RFInfer::ChangePointFor(
+    const ObjectData& o, double threshold) const {
+  const size_t n_cand = o.candidates.size();
+  if (n_cand == 0) return std::nullopt;
+  const ScanResult scan = ScanObject(o);
+  if (scan.events.empty()) return std::nullopt;
+
+  // Null hypothesis: one containment over the whole history.
+  double null_ll = kNegInf;
+  for (size_t j = 0; j < n_cand; ++j) {
+    null_ll = std::max(null_ll, scan.total[j]);
+  }
+  // Alternative: the best prefix/suffix split at any event epoch. The
+  // statistic is the likelihood-ratio improvement of the two-segment fit
+  // (Eq 6, written as alternative minus null so Delta >= 0 and a change is
+  // flagged when Delta >= delta).
+  double best_alt = kNegInf;
+  size_t best_k = 0;
+  size_t best_pre = 0;
+  size_t best_suf = 0;
+  for (size_t k = 0; k + 1 < scan.events.size(); ++k) {
+    double pre = kNegInf, suf = kNegInf;
+    size_t pre_j = 0, suf_j = 0;
+    for (size_t j = 0; j < n_cand; ++j) {
+      const double p = scan.cum[k * n_cand + j];
+      const double s = scan.total[j] - p;
+      if (p > pre) {
+        pre = p;
+        pre_j = j;
+      }
+      if (s > suf) {
+        suf = s;
+        suf_j = j;
+      }
+    }
+    if (pre + suf > best_alt) {
+      best_alt = pre + suf;
+      best_k = k;
+      best_pre = pre_j;
+      best_suf = suf_j;
+    }
+  }
+  if (!std::isfinite(best_alt)) return std::nullopt;
+  const double delta = best_alt - null_ll;
+  if (delta < threshold) return std::nullopt;
+  ChangePointResult result;
+  result.object = o.tag;
+  result.time = scan.events[best_k];
+  result.old_container =
+      containers_[static_cast<size_t>(o.candidates[best_pre])].tag;
+  result.new_container =
+      containers_[static_cast<size_t>(o.candidates[best_suf])].tag;
+  result.delta = delta;
+  return result;
+}
+
+std::vector<ChangePointResult> RFInfer::DetectChangePoints(
+    double threshold) const {
+  std::vector<ChangePointResult> results;
+  for (const ObjectData& o : objects_) {
+    auto cp = ChangePointFor(o, threshold);
+    if (cp.has_value()) results.push_back(*cp);
+  }
+  return results;
+}
+
+double RFInfer::ChangeStatistic(TagId object) const {
+  const int oi = ObjectIndexOf(object);
+  if (oi < 0) return 0.0;
+  auto cp = ChangePointFor(objects_[static_cast<size_t>(oi)],
+                           -std::numeric_limits<double>::infinity());
+  return cp.has_value() ? cp->delta : 0.0;
+}
+
+std::unordered_map<TagId, CriticalRegion> RFInfer::FindCriticalRegions(
+    Epoch window, double gap_threshold) const {
+  std::unordered_map<TagId, CriticalRegion> out;
+  for (const ObjectData& o : objects_) {
+    const size_t n_cand = o.candidates.size();
+    if (n_cand == 0) continue;
+    const ScanResult scan = ScanObject(o);
+    const size_t n_ev = scan.events.size();
+    if (n_ev == 0) continue;
+
+    std::optional<CriticalRegion> cr;
+    std::vector<double> win_sum(n_cand, 0.0);
+    size_t lo = 0;  // first event inside the sliding window
+    for (size_t k = 0; k < n_ev; ++k) {
+      for (size_t j = 0; j < n_cand; ++j) {
+        win_sum[j] += scan.point[k * n_cand + j];
+      }
+      const Epoch w_begin = scan.events[k] - window + 1;
+      while (scan.events[lo] < w_begin) {
+        for (size_t j = 0; j < n_cand; ++j) {
+          win_sum[j] -= scan.point[lo * n_cand + j];
+        }
+        ++lo;
+      }
+      double best = kNegInf, second = kNegInf;
+      for (size_t j = 0; j < n_cand; ++j) {
+        if (win_sum[j] > best) {
+          second = best;
+          best = win_sum[j];
+        } else if (win_sum[j] > second) {
+          second = win_sum[j];
+        }
+      }
+      // Single-candidate objects: keep the window with the strongest
+      // evidence (gap is undefined; use the raw evidence as the score).
+      // Multi-candidate objects: keep the maximum-gap window at or above
+      // the threshold. Preferring the max over the most recent qualifying
+      // window keeps belt-style discriminative spans from being displaced
+      // by windows whose gap is co-location noise; recency is handled by
+      // the change-point barrier, which invalidates pre-change regions.
+      const double gap = n_cand == 1 ? best : best - second;
+      const bool qualifies =
+          (n_cand == 1 || gap >= gap_threshold) &&
+          (!cr.has_value() || gap > cr->gap);
+      if (qualifies) {
+        cr = CriticalRegion{EpochInterval{w_begin, scan.events[k]}, gap};
+      }
+    }
+    if (cr.has_value()) out[o.tag] = *cr;
+  }
+  return out;
+}
+
+}  // namespace rfid

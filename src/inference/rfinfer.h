@@ -1,0 +1,304 @@
+// RFINFER: maximum-likelihood inference of containment relationships and
+// object/container locations from noisy RFID readings (Section 3,
+// Algorithm 1), with the Appendix A.3 optimizations:
+//
+//  * sparse histories     -- only (epoch, reader) pairs that produced a
+//                            reading are stored or touched;
+//  * candidate pruning    -- each object considers only the containers most
+//                            frequently co-located with it during the first
+//                            epochs of the window and during recent epochs;
+//  * idle-epoch folding   -- epochs in which neither a container nor any of
+//                            its assigned objects was read all share the
+//                            same posterior (per interrogation-schedule
+//                            class), so their contribution to weights and
+//                            likelihood is a closed-form per-class constant;
+//  * memoization          -- a container whose assigned object set did not
+//                            change between EM iterations keeps its
+//                            posterior and evidence untouched.
+//
+// The same engine exposes the evidence quantities of Section 4.1 (point and
+// cumulative evidence of co-location, Eq 7), the change-point statistic
+// Delta_o(T) of Section 3.3 (Eq 6), and the critical-region search used for
+// history truncation.
+#ifndef RFID_INFERENCE_RFINFER_H_
+#define RFID_INFERENCE_RFINFER_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "model/read_rate.h"
+#include "model/schedule.h"
+#include "trace/reading.h"
+#include "trace/trace.h"
+
+namespace rfid {
+
+/// Inclusive epoch interval.
+struct EpochInterval {
+  Epoch begin = 0;
+  Epoch end = -1;  ///< end < begin denotes the empty interval
+
+  bool empty() const { return end < begin; }
+  int64_t length() const { return empty() ? 0 : end - begin + 1; }
+  bool Contains(Epoch t) const { return t >= begin && t <= end; }
+
+  friend bool operator==(const EpochInterval&, const EpochInterval&) = default;
+};
+
+/// Tuning knobs for the EM engine.
+struct InferenceOptions {
+  /// EM iteration cap; the algorithm usually converges in a few iterations
+  /// (Appendix A.1).
+  int max_iterations = 25;
+  /// Candidate pruning K: containers kept per object (Appendix A.3).
+  int max_candidates = 5;
+  /// Length of the initial-epochs span used for candidate counting.
+  Epoch candidate_init_window = 200;
+  /// Length of the recent-epochs span used for candidate counting (change
+  /// detection needs candidates that appeared only recently).
+  Epoch candidate_recent_window = 300;
+  /// Reuse posterior/evidence for containers whose object set is unchanged.
+  bool memoize = true;
+  /// Weight the co-location counts behind the EM's initial guess by
+  /// exclusivity (1/k per k-container read burst). The paper's plain counts
+  /// (false) let crowded-shelf co-occurrence rival the true container and
+  /// occasionally lock whole groups into the wrong local optimum; weighting
+  /// removes that failure mode (see EXPERIMENTS.md ablation).
+  bool exclusivity_weighted_init = true;
+};
+
+/// One detected containment change (Section 3.3).
+struct ChangePointResult {
+  TagId object;
+  Epoch time = 0;             ///< the maximizing split epoch t'
+  TagId old_container;        ///< best container before the change
+  TagId new_container;        ///< best container after the change
+  double delta = 0.0;         ///< the statistic Delta_o(T)
+};
+
+/// One point of the co-location evidence series for a (object, candidate)
+/// pair -- the quantities plotted in Figure 4.
+struct EvidencePoint {
+  Epoch time = 0;
+  double point = 0.0;       ///< e_co(t), Eq (7)
+  double cumulative = 0.0;  ///< E_co(t) = sum of e up to t
+};
+
+/// Result of the critical-region search for one object (Section 4.1).
+struct CriticalRegion {
+  EpochInterval window;
+  double gap = 0.0;  ///< best-vs-second-best evidence gap in the window
+};
+
+/// Per-object context carried across inference runs: a critical region kept
+/// from truncated history, a barrier epoch after a detected change point
+/// ("we disregard the data from 0..t' in all subsequent calls"), and
+/// collapsed prior weights imported from a previous site (Section 4.1).
+struct ObjectContext {
+  std::optional<EpochInterval> critical_region;
+  /// Evidence gap of the stored critical region (0 when unknown, e.g.
+  /// after migration); used for cross-run replacement hysteresis.
+  double critical_region_gap = 0.0;
+  Epoch barrier = -1;
+  std::vector<std::pair<TagId, double>> prior_weights;
+};
+
+/// The inference engine. One instance is configured with a read-rate model
+/// and interrogation schedule, then Run() any number of times over trace
+/// windows; results refer to the most recent run.
+class RFInfer {
+ public:
+  /// `model` and `schedule` must outlive the engine and agree on the number
+  /// of locations.
+  RFInfer(const ReadRateModel* model, const InterrogationSchedule* schedule,
+          InferenceOptions options = {});
+
+  /// Restricts the tag universe explicitly. By default every case-kind tag
+  /// in the trace is a container and every item-kind tag an object; an
+  /// explicit universe supports e.g. hierarchical inference (cases within
+  /// pallets, Appendix A.4).
+  void SetUniverse(std::vector<TagId> containers, std::vector<TagId> objects);
+
+  /// Installs per-object contexts (critical regions, barriers, collapsed
+  /// priors). Cleared by ClearObjectContexts, not by Run.
+  void SetObjectContext(TagId object, ObjectContext context);
+  void ClearObjectContexts();
+
+  /// Runs EM over readings of `trace` with epochs in [window_begin,
+  /// window_end], plus each object's critical region if one is installed.
+  /// The trace must be sealed.
+  Status Run(const Trace& trace, Epoch window_begin, Epoch window_end);
+
+  // ---- Containment results ----
+
+  /// Inferred container of `object` (kNoTag when it has no candidates).
+  TagId ContainerOf(TagId object) const;
+
+  /// All objects currently assigned to `container`.
+  std::vector<TagId> ObjectsOf(TagId container) const;
+
+  /// Candidate containers of `object` after pruning.
+  std::vector<TagId> CandidatesOf(TagId object) const;
+
+  /// Co-location weight w_co (Eq 5) including any imported prior; returns
+  /// -infinity when `container` is not a candidate of `object`.
+  double WeightOf(TagId object, TagId container) const;
+
+  /// Exports all candidate weights for one object -- the collapsed
+  /// inference state migrated between sites (Section 4.1).
+  std::vector<std::pair<TagId, double>> ExportWeights(TagId object) const;
+
+  /// Tag universe of the last run.
+  const std::vector<TagId>& object_tags() const { return object_tags_; }
+  const std::vector<TagId>& container_tags() const { return container_tags_; }
+
+  // ---- Location results ----
+
+  /// MAP location estimate at epoch `t` with carry-forward across epochs
+  /// without evidence: containers use their posterior argmax at the latest
+  /// active epoch <= t; objects inherit their container's estimate, falling
+  /// back to their own last reading when unassigned.
+  LocationId LocationOf(TagId tag, Epoch t) const;
+
+  /// Materializes the inferred event stream (time, tag, location,
+  /// container) for query processing, one event per container-active epoch
+  /// within the run window, for the container and each assigned object.
+  std::vector<ObjectEvent> EmitEvents() const;
+
+  // ---- Evidence, change points, truncation ----
+
+  /// Point/cumulative evidence series for a candidate pair (Figure 4).
+  /// Series points are emitted at the object's event epochs (epochs where
+  /// the pair's group had any reading); idle gaps accumulate into the
+  /// cumulative value of the next point.
+  std::vector<EvidencePoint> EvidenceSeries(TagId object,
+                                            TagId container) const;
+
+  /// Computes Delta_o(T) for every object (Eq 6) and reports those at or
+  /// above `threshold`. The maximizing split epoch, the best container
+  /// before and after it, and the statistic value are filled in.
+  std::vector<ChangePointResult> DetectChangePoints(double threshold) const;
+
+  /// Delta statistic for one object (for calibration); 0 when the object
+  /// has fewer than one candidate or no events.
+  double ChangeStatistic(TagId object) const;
+
+  /// Critical-region search (Section 4.1): slides a window of `window`
+  /// epochs over each object's evidence and keeps the most recent window
+  /// where the best candidate out-scores the second best by at least
+  /// `gap_threshold`. Objects with a single candidate use the window of
+  /// their strongest point evidence.
+  std::unordered_map<TagId, CriticalRegion> FindCriticalRegions(
+      Epoch window, double gap_threshold) const;
+
+  // ---- Diagnostics ----
+
+  int iterations_used() const { return iterations_used_; }
+  /// Log-likelihood L(C) of the final containment (Eq 3), up to the
+  /// assignment-independent uniform-location-prior constant.
+  double log_likelihood() const { return log_likelihood_; }
+  /// L(C) after each E-step; non-decreasing by Theorem 1.
+  const std::vector<double>& likelihood_history() const {
+    return likelihood_history_;
+  }
+  EpochInterval window() const { return window_; }
+
+ private:
+  struct ContainerData {
+    TagId tag;
+    std::vector<int> objects;  ///< assigned object indices, sorted
+    /// Epoch universe: run window plus candidate objects' critical regions.
+    std::vector<EpochInterval> universe;
+    /// (epoch, reader) reads of the container tag itself, within universe.
+    std::vector<TagRead> own_reads;
+
+    // E-step outputs.
+    std::vector<Epoch> act_epochs;
+    std::vector<double> q_act;        ///< |act| x R, row-major
+    std::vector<LocationId> act_map;  ///< argmax location per active epoch
+    std::vector<double> act_m;        ///< m_c(t) per active epoch
+    /// Prefix sums of (act_m[i] - m_idle[class(act_epochs[i])]).
+    std::vector<double> act_excess_prefix;
+    std::vector<double> q_idle;  ///< n_classes x R
+    std::vector<double> m_idle;  ///< n_classes
+    std::vector<double> lz_idle; ///< n_classes; idle per-epoch log-likelihood
+    double sum_act_lz = 0.0;
+    uint64_t member_hash = 0;
+    bool computed = false;
+  };
+
+  struct ObjectData {
+    TagId tag;
+    std::vector<int> candidates;  ///< container indices
+    std::vector<double> weights;  ///< w_co, aligned with candidates
+    std::vector<double> priors;   ///< imported collapsed weights, aligned
+    std::vector<TagRead> reads;   ///< object reads within its universe
+    std::vector<EpochInterval> universe;
+    int assigned = -1;
+  };
+
+  // Setup.
+  void BuildUniverse(const Trace& trace);
+  void BuildCandidates(const Trace& trace);
+  void BuildReadCaches(const Trace& trace);
+
+  // EM steps.
+  void EStep();
+  void ComputeContainer(ContainerData& c);
+  bool MStep();  ///< returns true if any assignment changed
+  double ComputeWeight(const ObjectData& o, int container_index) const;
+  double ComputeLogLikelihood() const;
+
+  // Shared kernels.
+  /// Sum of m_c over all epochs of `interval` (active + idle).
+  double SumM(const ContainerData& c, const EpochInterval& interval) const;
+  /// Posterior row of container c at epoch t (active row or idle class row).
+  const double* PosteriorAt(const ContainerData& c, Epoch t) const;
+  /// sum_a q(a) * LogReadAdjust(r, a).
+  double DotAdjust(const double* q, LocationId r) const;
+
+  /// Per-object detailed evidence scan; shared by EvidenceSeries,
+  /// change-point detection, and the critical-region search.
+  struct ScanResult {
+    std::vector<Epoch> events;
+    /// point[k*num_candidates + j]: e_co at events[k] for candidate j.
+    std::vector<double> point;
+    /// cum[k*num_candidates + j]: E_co including idle gaps up to events[k].
+    std::vector<double> cum;
+    /// total[j]: E_co over the full universe (== weight - prior).
+    std::vector<double> total;
+  };
+  ScanResult ScanObject(const ObjectData& o) const;
+
+  std::optional<ChangePointResult> ChangePointFor(const ObjectData& o,
+                                                  double threshold) const;
+
+  int ObjectIndexOf(TagId tag) const;
+  int ContainerIndexOf(TagId tag) const;
+
+  const ReadRateModel* model_;
+  const InterrogationSchedule* schedule_;
+  InferenceOptions options_;
+
+  bool explicit_universe_ = false;
+  std::vector<TagId> container_tags_;
+  std::vector<TagId> object_tags_;
+  std::unordered_map<TagId, ObjectContext> contexts_;
+
+  const Trace* trace_ = nullptr;
+  EpochInterval window_;
+  std::vector<ContainerData> containers_;
+  std::vector<ObjectData> objects_;
+  std::unordered_map<TagId, int> container_index_;
+  std::unordered_map<TagId, int> object_index_;
+  int iterations_used_ = 0;
+  double log_likelihood_ = 0.0;
+  std::vector<double> likelihood_history_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_INFERENCE_RFINFER_H_

@@ -1,0 +1,102 @@
+#include "inference/state.h"
+
+#include "common/serde.h"
+
+namespace rfid {
+
+namespace {
+constexpr uint32_t kStateMagic = 0x52464d53;  // "RFMS"
+}  // namespace
+
+std::vector<uint8_t> EncodeMigrationStates(
+    const std::vector<ObjectMigrationState>& states) {
+  BufferWriter w;
+  w.PutU32(kStateMagic);
+  w.PutVarint(states.size());
+  for (const ObjectMigrationState& s : states) {
+    w.PutCompactTag(s.object);
+    w.PutCompactTag(s.container);
+    w.PutSignedVarint(s.barrier);
+    w.PutU8(s.critical_region.has_value() ? 1 : 0);
+    if (s.critical_region.has_value()) {
+      w.PutSignedVarint(s.critical_region->begin);
+      w.PutSignedVarint(s.critical_region->end);
+    }
+    // "Collapse the inference state to a single number for each
+    // container-object pair": float resolution is ample for weights whose
+    // argmax decides containment.
+    w.PutVarint(s.weights.size());
+    for (const auto& [tag, weight] : s.weights) {
+      w.PutCompactTag(tag);
+      w.PutFloat(static_cast<float>(weight));
+    }
+    w.PutVarint(s.readings.size());
+    Epoch prev_time = 0;
+    uint64_t prev_tag = 0;
+    for (const RawReading& r : s.readings) {
+      w.PutSignedVarint(r.time - prev_time);
+      w.PutVarint(static_cast<uint64_t>(r.reader));
+      w.PutSignedVarint(static_cast<int64_t>(r.tag.raw()) -
+                        static_cast<int64_t>(prev_tag));
+      prev_time = r.time;
+      prev_tag = r.tag.raw();
+    }
+  }
+  return w.Release();
+}
+
+Result<std::vector<ObjectMigrationState>> DecodeMigrationStates(
+    const std::vector<uint8_t>& bytes) {
+  BufferReader reader(bytes);
+  uint32_t magic;
+  RFID_RETURN_NOT_OK(reader.GetU32(&magic));
+  if (magic != kStateMagic) {
+    return Status::Corruption("bad migration-state magic");
+  }
+  uint64_t count;
+  RFID_RETURN_NOT_OK(reader.GetVarint(&count));
+  std::vector<ObjectMigrationState> states;
+  states.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ObjectMigrationState s;
+    RFID_RETURN_NOT_OK(reader.GetCompactTag(&s.object));
+    RFID_RETURN_NOT_OK(reader.GetCompactTag(&s.container));
+    RFID_RETURN_NOT_OK(reader.GetSignedVarint(&s.barrier));
+    uint8_t has_cr = 0;
+    RFID_RETURN_NOT_OK(reader.GetU8(&has_cr));
+    if (has_cr != 0) {
+      EpochInterval cr;
+      RFID_RETURN_NOT_OK(reader.GetSignedVarint(&cr.begin));
+      RFID_RETURN_NOT_OK(reader.GetSignedVarint(&cr.end));
+      s.critical_region = cr;
+    }
+    uint64_t n_weights = 0;
+    RFID_RETURN_NOT_OK(reader.GetVarint(&n_weights));
+    for (uint64_t k = 0; k < n_weights; ++k) {
+      TagId tag;
+      float weight = 0;
+      RFID_RETURN_NOT_OK(reader.GetCompactTag(&tag));
+      RFID_RETURN_NOT_OK(reader.GetFloat(&weight));
+      s.weights.emplace_back(tag, static_cast<double>(weight));
+    }
+    uint64_t n_readings;
+    RFID_RETURN_NOT_OK(reader.GetVarint(&n_readings));
+    Epoch prev_time = 0;
+    uint64_t prev_tag = 0;
+    for (uint64_t k = 0; k < n_readings; ++k) {
+      int64_t dt, dtag;
+      uint64_t rd;
+      RFID_RETURN_NOT_OK(reader.GetSignedVarint(&dt));
+      RFID_RETURN_NOT_OK(reader.GetVarint(&rd));
+      RFID_RETURN_NOT_OK(reader.GetSignedVarint(&dtag));
+      prev_time += dt;
+      prev_tag = static_cast<uint64_t>(static_cast<int64_t>(prev_tag) + dtag);
+      s.readings.push_back(RawReading{prev_time, TagId::FromRaw(prev_tag),
+                                      static_cast<LocationId>(rd)});
+    }
+    states.push_back(std::move(s));
+  }
+  return states;
+}
+
+}  // namespace rfid

@@ -1,0 +1,49 @@
+// Serializable inference state for cross-site migration (Section 4.1).
+//
+// Two payload shapes, matching the paper's two techniques:
+//  * full     -- the readings of the object and its candidate containers
+//                inside the critical region and recent history ("one
+//                solution is simply shipping the inference state");
+//  * collapsed -- one number per (container, object) pair, the co-location
+//                weight w_co ("we employ a technique to collapse the
+//                inference state to a single number for each
+//                container-object pair").
+//
+// The distributed experiments charge exactly these encoded bytes to the
+// network, so the encoding is the compact varint wire format of serde.h.
+#ifndef RFID_INFERENCE_STATE_H_
+#define RFID_INFERENCE_STATE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "inference/rfinfer.h"
+#include "trace/reading.h"
+
+namespace rfid {
+
+/// Migration payload for one object.
+struct ObjectMigrationState {
+  TagId object;
+  /// Collapsed weights (always present; tiny).
+  std::vector<std::pair<TagId, double>> weights;
+  /// Optional full readings (object + candidate containers, CR + recent).
+  std::vector<RawReading> readings;
+  /// Critical region and change barrier carried to the next site.
+  std::optional<EpochInterval> critical_region;
+  Epoch barrier = -1;
+  /// The container believed current at departure.
+  TagId container;
+};
+
+/// Encodes/decodes a batch of object states (one transfer's worth).
+std::vector<uint8_t> EncodeMigrationStates(
+    const std::vector<ObjectMigrationState>& states);
+Result<std::vector<ObjectMigrationState>> DecodeMigrationStates(
+    const std::vector<uint8_t>& bytes);
+
+}  // namespace rfid
+
+#endif  // RFID_INFERENCE_STATE_H_

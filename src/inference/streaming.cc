@@ -1,0 +1,287 @@
+#include "inference/streaming.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace rfid {
+
+StreamingInference::StreamingInference(const ReadRateModel* model,
+                                       const InterrogationSchedule* schedule,
+                                       StreamingOptions options)
+    : model_(model), schedule_(schedule), options_(options) {
+  engine_ = std::make_unique<RFInfer>(model_, schedule_, options_.inference);
+  next_run_ = options_.inference_period;
+}
+
+void StreamingInference::SetUniverse(std::vector<TagId> containers,
+                                     std::vector<TagId> objects) {
+  has_universe_ = true;
+  universe_containers_ = std::move(containers);
+  universe_objects_ = std::move(objects);
+}
+
+void StreamingInference::Observe(const RawReading& reading) {
+  buffer_.Add(reading);
+}
+
+int StreamingInference::AdvanceTo(Epoch now) {
+  int ran = 0;
+  while (next_run_ <= now) {
+    RFID_CHECK_OK(RunNow(next_run_));
+    next_run_ += options_.inference_period;
+    ++ran;
+  }
+  return ran;
+}
+
+Status StreamingInference::RunNow(Epoch now) {
+  buffer_.Seal();
+  Epoch window_begin = 0;
+  switch (options_.truncation) {
+    case TruncationMethod::kAll:
+      window_begin = 0;
+      break;
+    case TruncationMethod::kWindow:
+      window_begin = std::max<Epoch>(0, now - options_.window_size + 1);
+      break;
+    case TruncationMethod::kCriticalRegion:
+      window_begin = std::max<Epoch>(0, now - options_.recent_history + 1);
+      break;
+  }
+
+  if (has_universe_) {
+    engine_->SetUniverse(universe_containers_, universe_objects_);
+  }
+  engine_->ClearObjectContexts();
+  if (options_.truncation == TruncationMethod::kCriticalRegion) {
+    for (const auto& [tag, ctx] : contexts_) {
+      engine_->SetObjectContext(tag, ctx);
+    }
+  } else {
+    // Barriers and priors still apply without CR truncation.
+    for (const auto& [tag, ctx] : contexts_) {
+      ObjectContext no_cr = ctx;
+      no_cr.critical_region.reset();
+      engine_->SetObjectContext(tag, no_cr);
+    }
+  }
+
+  Stopwatch timer;
+  RFID_RETURN_NOT_OK(engine_->Run(buffer_, window_begin, now));
+
+  last_changes_.clear();
+  if (options_.detect_changes) {
+    last_changes_ = engine_->DetectChangePoints(options_.change_threshold);
+    for (const ChangePointResult& cp : last_changes_) {
+      all_changes_.push_back(cp);
+      ObjectContext& ctx = contexts_[cp.object];
+      ctx.barrier = std::max(ctx.barrier, cp.time);
+      // The critical region preceding the change no longer describes the
+      // object's containment.
+      if (ctx.critical_region.has_value() &&
+          ctx.critical_region->end <= cp.time) {
+        ctx.critical_region.reset();
+      }
+      change_overrides_[cp.object] = cp.new_container;
+    }
+    // An object whose assignment now matches its override has "caught up".
+    for (auto it = change_overrides_.begin();
+         it != change_overrides_.end();) {
+      if (engine_->ContainerOf(it->first) == it->second) {
+        it = change_overrides_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  if (options_.truncation == TruncationMethod::kCriticalRegion) {
+    auto crs = engine_->FindCriticalRegions(options_.cr_window,
+                                            options_.cr_gap_threshold);
+    for (const auto& [tag, cr] : crs) {
+      ObjectContext& ctx = contexts_[tag];
+      // Replace a stored region only when the new one's evidence gap is
+      // comparable or better; co-location noise must not displace a
+      // genuinely discriminative span.
+      if (!ctx.critical_region.has_value() ||
+          cr.gap >= 0.5 * ctx.critical_region_gap) {
+        ctx.critical_region = cr.window;
+        ctx.critical_region_gap = cr.gap;
+      }
+    }
+  }
+
+  // Accumulate the location track: the monitoring system's view of "the
+  // latest estimate at or before t" must survive across runs even though
+  // each run only covers its own window.
+  for (TagId c : engine_->container_tags()) {
+    auto& track = location_track_[c];
+    for (Epoch t = std::max(window_begin, last_run_at_ + 1); t <= now; ++t) {
+      const LocationId loc = engine_->LocationOf(c, t);
+      if (loc == kNoLocation) continue;
+      // Store change points of the estimate only (sparse).
+      if (track.empty() || track.back().reader != loc) {
+        track.push_back(TagRead{t, loc});
+      }
+    }
+  }
+
+  // Local evidence supersedes beliefs imported with migrated state.
+  for (auto it = imported_beliefs_.begin(); it != imported_beliefs_.end();) {
+    if (engine_->ContainerOf(it->first).valid()) {
+      it = imported_beliefs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  last_seconds_ = timer.ElapsedSeconds();
+  total_seconds_ += last_seconds_;
+  ++runs_;
+  last_run_at_ = now;
+
+  // Shrink the buffer to what the next run can possibly need.
+  const Epoch next_now = now + options_.inference_period;
+  switch (options_.truncation) {
+    case TruncationMethod::kAll:
+      break;  // keep everything
+    case TruncationMethod::kWindow:
+      CompactBuffer(std::max<Epoch>(0, next_now - options_.window_size + 1));
+      break;
+    case TruncationMethod::kCriticalRegion:
+      CompactBuffer(
+          std::max<Epoch>(0, next_now - options_.recent_history + 1));
+      break;
+  }
+  return Status::OK();
+}
+
+void StreamingInference::CompactBuffer(Epoch next_window_begin) {
+  // Keep recent readings, plus -- per tag -- readings inside the tag's own
+  // critical region (objects) or inside the critical region of an object
+  // that lists the tag as a candidate container. "Readings of the object
+  // and its possible containers outside the critical region will be all
+  // ignored" (Section 4.1).
+  std::unordered_map<TagId, std::vector<EpochInterval>> keep;
+  for (const auto& [tag, ctx] : contexts_) {
+    if (!ctx.critical_region.has_value()) continue;
+    keep[tag].push_back(*ctx.critical_region);
+    for (TagId container : engine_->CandidatesOf(tag)) {
+      keep[container].push_back(*ctx.critical_region);
+    }
+  }
+  Trace compacted;
+  for (const RawReading& r : buffer_.readings()) {
+    bool retain = r.time >= next_window_begin;
+    if (!retain) {
+      auto it = keep.find(r.tag);
+      if (it != keep.end()) {
+        for (const EpochInterval& iv : it->second) {
+          if (iv.Contains(r.time)) {
+            retain = true;
+            break;
+          }
+        }
+      }
+    }
+    if (retain) compacted.Add(r);
+  }
+  compacted.Seal();
+  buffer_ = std::move(compacted);
+}
+
+TagId StreamingInference::ContainerOf(TagId object) const {
+  auto it = change_overrides_.find(object);
+  if (it != change_overrides_.end()) return it->second;
+  TagId local = engine_->ContainerOf(object);
+  if (local.valid()) return local;
+  auto imported = imported_beliefs_.find(object);
+  return imported == imported_beliefs_.end() ? kNoTag : imported->second;
+}
+
+void StreamingInference::SetImportedBelief(TagId object, TagId container) {
+  if (container.valid()) imported_beliefs_[object] = container;
+}
+
+LocationId StreamingInference::LocationOf(TagId tag, Epoch t) const {
+  auto it = location_track_.find(tag);
+  if (it == location_track_.end()) {
+    // Objects inherit their container's track.
+    TagId container = ContainerOf(tag);
+    if (container.valid() && container != tag) {
+      return LocationOf(container, t);
+    }
+    return engine_->LocationOf(tag, t);
+  }
+  const auto& track = it->second;
+  auto pos = std::upper_bound(
+      track.begin(), track.end(), t,
+      [](Epoch t_, const TagRead& tr) { return t_ < tr.time; });
+  if (pos == track.begin()) return kNoLocation;
+  return (pos - 1)->reader;
+}
+
+void StreamingInference::ImportObjectContext(TagId object,
+                                             ObjectContext context) {
+  ObjectContext& ctx = contexts_[object];
+  ctx.barrier = std::max(ctx.barrier, context.barrier);
+  if (context.critical_region.has_value()) {
+    ctx.critical_region = context.critical_region;
+  }
+  // Imported collapsed weights add to any existing priors: "the inference
+  // algorithm at a new location simply adds the old transferred weights to
+  // the new weights" (Section 4.1).
+  for (const auto& [tag, w] : context.prior_weights) {
+    bool merged = false;
+    for (auto& [etag, ew] : ctx.prior_weights) {
+      if (etag == tag) {
+        ew += w;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) ctx.prior_weights.emplace_back(tag, w);
+  }
+}
+
+ObjectContext StreamingInference::ExportObjectContext(TagId object) const {
+  ObjectContext ctx;
+  auto it = contexts_.find(object);
+  if (it != contexts_.end()) ctx = it->second;
+  if (runs_ > 0) {
+    auto weights = engine_->ExportWeights(object);
+    if (!weights.empty()) ctx.prior_weights = std::move(weights);
+  }
+  return ctx;
+}
+
+std::vector<RawReading> StreamingInference::ExportReadings(
+    const std::vector<TagId>& tags, TagId object) {
+  if (!buffer_.sealed()) buffer_.Seal();
+  std::vector<EpochInterval> regions;
+  auto it = contexts_.find(object);
+  if (it != contexts_.end() && it->second.critical_region.has_value()) {
+    regions.push_back(*it->second.critical_region);
+  }
+  if (last_run_at_ >= 0) {
+    regions.push_back(EpochInterval{
+        std::max<Epoch>(0, last_run_at_ - options_.recent_history + 1),
+        last_run_at_});
+  }
+  std::vector<RawReading> out;
+  for (TagId tag : tags) {
+    for (const TagRead& tr : buffer_.HistoryOf(tag)) {
+      for (const EpochInterval& iv : regions) {
+        if (iv.Contains(tr.time)) {
+          out.push_back(RawReading{tr.time, tag, tr.reader});
+          break;
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), RawReadingOrder{});
+  return out;
+}
+
+}  // namespace rfid

@@ -1,0 +1,43 @@
+#include "model/generative.h"
+
+namespace rfid {
+
+void SampleReadings(const ReadRateModel& model,
+                    const GenerativeScenario& scenario, Rng& rng,
+                    Trace* trace) {
+  const int R = model.num_locations();
+  const Epoch horizon = static_cast<Epoch>(scenario.location_path.size());
+  for (Epoch t = 0; t < horizon; ++t) {
+    const LocationId truth = scenario.location_path[static_cast<size_t>(t)];
+    if (truth == kNoLocation) continue;
+    for (LocationId r = 0; r < R; ++r) {
+      const double p = model.Rate(r, truth);
+      if (rng.NextBernoulli(p)) {
+        trace->Add(RawReading{t, scenario.container, r});
+      }
+      for (TagId obj : scenario.objects) {
+        if (rng.NextBernoulli(p)) {
+          trace->Add(RawReading{t, obj, r});
+        }
+      }
+    }
+  }
+}
+
+std::vector<LocationId> RandomLocationPath(int num_locations, Epoch horizon,
+                                           double move_prob, Rng& rng) {
+  std::vector<LocationId> path(static_cast<size_t>(horizon));
+  LocationId cur =
+      static_cast<LocationId>(rng.NextBounded(
+          static_cast<uint64_t>(num_locations)));
+  for (Epoch t = 0; t < horizon; ++t) {
+    if (t > 0 && rng.NextBernoulli(move_prob)) {
+      cur = static_cast<LocationId>(
+          rng.NextBounded(static_cast<uint64_t>(num_locations)));
+    }
+    path[static_cast<size_t>(t)] = cur;
+  }
+  return path;
+}
+
+}  // namespace rfid

@@ -1,0 +1,44 @@
+// Forward sampling from the graphical model of Section 3.1.
+//
+// Two uses in the paper:
+//  1. Threshold calibration for change-point detection (Section 3.3):
+//     hypothetical no-change observation sequences are sampled from the
+//     model, and the detection threshold delta is set above the largest
+//     Delta statistic any of them produces.
+//  2. Validating that inference recovers planted structure (our tests).
+#ifndef RFID_MODEL_GENERATIVE_H_
+#define RFID_MODEL_GENERATIVE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "model/read_rate.h"
+#include "trace/trace.h"
+
+namespace rfid {
+
+/// A synthetic world with one container of `num_objects` objects whose true
+/// location follows `location_path[t]` for t in [0, T).
+struct GenerativeScenario {
+  TagId container = TagId::Case(0);
+  std::vector<TagId> objects;
+  /// True location at each epoch; size defines the horizon T.
+  std::vector<LocationId> location_path;
+};
+
+/// Samples RFID readings for the scenario exactly as the model describes:
+/// every reader independently interrogates every tag each epoch and detects
+/// it with probability pi(r, true location). Appends to `trace`.
+void SampleReadings(const ReadRateModel& model,
+                    const GenerativeScenario& scenario, Rng& rng,
+                    Trace* trace);
+
+/// Builds a random-walk location path of length T over the model's location
+/// set, with probability `move_prob` of moving per epoch.
+std::vector<LocationId> RandomLocationPath(int num_locations, Epoch horizon,
+                                           double move_prob, Rng& rng);
+
+}  // namespace rfid
+
+#endif  // RFID_MODEL_GENERATIVE_H_

@@ -1,0 +1,69 @@
+#include "model/read_rate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfid {
+
+ReadRateModel::ReadRateModel(int num_locations, double fill)
+    : num_locations_(num_locations),
+      pi_(static_cast<size_t>(num_locations) *
+              static_cast<size_t>(num_locations),
+          fill) {}
+
+ReadRateModel ReadRateModel::Uniform(int num_locations, double main_rate) {
+  ReadRateModel m(num_locations, 0.0);
+  for (LocationId r = 0; r < num_locations; ++r) {
+    m.pi_[m.Index(r, r)] = main_rate;
+  }
+  m.FinalizeLogTables();
+  return m;
+}
+
+Result<ReadRateModel> ReadRateModel::FromTable(
+    const std::vector<std::vector<double>>& pi) {
+  const int n = static_cast<int>(pi.size());
+  if (n == 0) return Status::InvalidArgument("empty read-rate table");
+  ReadRateModel m(n, 0.0);
+  for (int r = 0; r < n; ++r) {
+    if (static_cast<int>(pi[r].size()) != n) {
+      return Status::InvalidArgument("read-rate table is not square");
+    }
+    for (int a = 0; a < n; ++a) {
+      if (pi[r][a] < 0.0 || pi[r][a] > 1.0) {
+        return Status::InvalidArgument("read rate outside [0,1]");
+      }
+      m.pi_[m.Index(r, a)] = pi[r][a];
+    }
+  }
+  m.FinalizeLogTables();
+  return m;
+}
+
+void ReadRateModel::SetRate(LocationId r, LocationId rbar, double p) {
+  pi_[Index(r, rbar)] = std::clamp(p, 0.0, 1.0);
+  finalized_ = false;
+}
+
+void ReadRateModel::FinalizeLogTables() {
+  const size_t n2 = pi_.size();
+  log_read_.resize(n2);
+  log_miss_.resize(n2);
+  log_adjust_.resize(n2);
+  log_miss_all_.assign(static_cast<size_t>(num_locations_), 0.0);
+  for (LocationId r = 0; r < num_locations_; ++r) {
+    for (LocationId a = 0; a < num_locations_; ++a) {
+      const size_t i = Index(r, a);
+      // Clamp so neither branch of Eq (1) is exactly zero: a single stray
+      // read must not carry infinite evidence.
+      const double p = std::clamp(pi_[i], kProbFloor, 1.0 - kProbFloor);
+      log_read_[i] = std::log(p);
+      log_miss_[i] = std::log1p(-p);
+      log_adjust_[i] = log_read_[i] - log_miss_[i];
+      log_miss_all_[static_cast<size_t>(a)] += log_miss_[i];
+    }
+  }
+  finalized_ = true;
+}
+
+}  // namespace rfid

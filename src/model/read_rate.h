@@ -1,0 +1,98 @@
+// The read-rate model pi(r, r_bar) of Section 3.1: the probability that the
+// reader at location r detects a tag whose true location is r_bar, per
+// interrogation epoch.
+//
+// In deployments this table is measured with reference tags fixed at known
+// locations (the paper cites [11, 16]); in this reproduction the simulator
+// constructs it from its own parameters, so inference sees exactly what a
+// calibrated deployment would see.
+//
+// The likelihood of a tag's readings at one epoch factorizes per reader
+// (Eq 1). For the optimized inference path we precompute, per location a:
+//
+//   LogMissAll(a)      = sum_r log(1 - pi(r, a))     (no reader saw the tag)
+//   LogReadAdjust(r,a) = log pi(r, a) - log(1 - pi(r, a))
+//
+// so that log p(readings | loc=a) = LogMissAll(a) + sum over actual reads of
+// LogReadAdjust. This turns the O(R) per-epoch scan of Algorithm 1 into
+// O(#reads), which is the Appendix A.3 optimization.
+#ifndef RFID_MODEL_READ_RATE_H_
+#define RFID_MODEL_READ_RATE_H_
+
+#include <vector>
+
+#include "common/log_space.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace rfid {
+
+/// Dense R x R read-rate table with precomputed log-space kernels.
+class ReadRateModel {
+ public:
+  /// Builds a model over `num_locations` readers where pi(r, r) = main_rate
+  /// and all cross-reads are (floored) zero.
+  static ReadRateModel Uniform(int num_locations, double main_rate);
+
+  /// Builds a model from an explicit row-major R x R table.
+  /// pi[r][rbar] = probability reader r reads a tag located at rbar.
+  static Result<ReadRateModel> FromTable(
+      const std::vector<std::vector<double>>& pi);
+
+  int num_locations() const { return num_locations_; }
+
+  /// pi(r, rbar); probabilities are clamped to [kProbFloor, 1-kProbFloor].
+  double Rate(LocationId r, LocationId rbar) const {
+    return pi_[Index(r, rbar)];
+  }
+
+  /// Overrides one entry (used to model shelf-reader overlap).
+  void SetRate(LocationId r, LocationId rbar, double p);
+
+  /// Must be called after the last SetRate and before any log-space lookup.
+  void FinalizeLogTables();
+
+  /// log p(read | reader r, tag at rbar) -- Eq (1), x=1 branch.
+  double LogRead(LocationId r, LocationId rbar) const {
+    return log_read_[Index(r, rbar)];
+  }
+
+  /// log p(miss | reader r, tag at rbar) -- Eq (1), x=0 branch.
+  double LogMiss(LocationId r, LocationId rbar) const {
+    return log_miss_[Index(r, rbar)];
+  }
+
+  /// sum_r log p(miss | r, a): likelihood of an epoch with zero readings.
+  double LogMissAll(LocationId a) const {
+    return log_miss_all_[static_cast<size_t>(a)];
+  }
+
+  /// LogRead(r,a) - LogMiss(r,a): the correction applied per actual read.
+  double LogReadAdjust(LocationId r, LocationId a) const {
+    return log_adjust_[Index(r, a)];
+  }
+
+  /// True if the table has been finalized.
+  bool finalized() const { return finalized_; }
+
+ private:
+  ReadRateModel(int num_locations, double fill);
+
+  size_t Index(LocationId r, LocationId rbar) const {
+    return static_cast<size_t>(r) * static_cast<size_t>(num_locations_) +
+           static_cast<size_t>(rbar);
+  }
+
+  int num_locations_;
+  bool finalized_ = false;
+  std::vector<double> pi_;
+  std::vector<double> log_read_;
+  std::vector<double> log_miss_;
+  std::vector<double> log_adjust_;
+  std::vector<double> log_miss_all_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_MODEL_READ_RATE_H_

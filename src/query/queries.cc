@@ -1,0 +1,102 @@
+#include "query/queries.h"
+
+namespace rfid {
+
+namespace {
+// Tuple layout of the Products stream: [tag, loc, container].
+constexpr int kTagCol = 0;
+constexpr int kLocCol = 1;
+constexpr int kContainerCol = 2;
+// After the join, the Temperature values [loc, temp] are appended.
+constexpr int kTempCol = 4;
+// Sensor stream layout: [loc, temp].
+constexpr int kSensorLocCol = 0;
+}  // namespace
+
+ExposureQuery::ExposureQuery(const ProductCatalog* catalog,
+                             ExposureQueryConfig config)
+    : catalog_(catalog), config_(config) {
+  // Inner block, stream R: frozen products whose container fails the
+  // freezer test (or is NULL) -- or all frozen products for Q2.
+  product_filter_ = std::make_unique<FilterOp>([this](const Tuple& t) {
+    const Value& tag_v = t.at(kTagCol);
+    if (!std::holds_alternative<TagId>(tag_v)) return false;
+    const ProductInfo* info = catalog_->FindProduct(std::get<TagId>(tag_v));
+    if (info == nullptr || !info->frozen) return false;
+    if (!config_.check_container) return true;
+    const Value& cont_v = t.at(kContainerCol);
+    if (IsNull(cont_v)) return true;  // "or R.container = NULL"
+    if (!std::holds_alternative<TagId>(cont_v)) return true;
+    return !catalog_->IsA(std::get<TagId>(cont_v), ContainerClass::kFreezer);
+  });
+
+  // Join R[Now] with Temperature[Partition By sensor Rows 1] on location.
+  join_ = std::make_unique<JoinLatestOp>(kLocCol, kSensorLocCol);
+
+  // "T.temp > threshold".
+  temp_filter_ = std::make_unique<FilterOp>([this](const Tuple& t) {
+    const Value& temp_v = t.at(kTempCol);
+    return std::holds_alternative<double>(temp_v) &&
+           std::get<double>(temp_v) > config_.temp_threshold;
+  });
+
+  // Outer block: SEQ(A+) per tag spanning `duration`.
+  PatternOptions popts;
+  popts.partition_col = kTagCol;
+  popts.value_col = kTempCol;
+  popts.min_duration = config_.duration;
+  popts.max_gap = config_.max_gap;
+  pattern_ = std::make_unique<PatternSeqOp>(popts);
+
+  sink_ = std::make_unique<CallbackOperator>([this](const Tuple& t) {
+    ExposureAlert alert;
+    alert.tag = std::get<TagId>(t.at(0));
+    alert.first_time = std::get<int64_t>(t.at(1));
+    alert.last_time = std::get<int64_t>(t.at(2));
+    alert.n_events = std::get<int64_t>(t.at(3));
+    alerts_.push_back(alert);
+  });
+
+  product_filter_->SetDownstream(join_.get());
+  join_->SetDownstream(temp_filter_.get());
+  temp_filter_->SetDownstream(pattern_.get());
+  pattern_->SetDownstream(sink_.get());
+}
+
+void ExposureQuery::OnEvent(const ObjectEvent& event) {
+  Tuple t;
+  t.time = event.time;
+  t.values = {Value{event.tag}, Value{static_cast<int64_t>(event.loc)},
+              event.container.valid() ? Value{event.container}
+                                      : Value{std::monostate{}}};
+  product_filter_->Push(t);
+}
+
+void ExposureQuery::OnSensor(const SensorReading& reading) {
+  Tuple t;
+  t.time = reading.time;
+  t.values = {Value{static_cast<int64_t>(reading.loc)}, Value{reading.value}};
+  join_->right_port()->Push(t);
+}
+
+std::vector<uint8_t> ExposureQuery::ExportState(TagId tag) const {
+  return pattern_->StateOf(tag).Encode();
+}
+
+Status ExposureQuery::ImportState(TagId tag,
+                                  const std::vector<uint8_t>& bytes) {
+  Result<PatternState> state = PatternState::Decode(bytes);
+  RFID_RETURN_NOT_OK(state.status());
+  pattern_->SetState(tag, std::move(state).value());
+  return Status::OK();
+}
+
+std::vector<uint8_t> ExposureQuery::TakeState(TagId tag) {
+  return pattern_->TakeState(tag).Encode();
+}
+
+std::vector<TagId> ExposureQuery::StatefulObjects() const {
+  return pattern_->Partitions();
+}
+
+}  // namespace rfid

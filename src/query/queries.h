@@ -1,0 +1,105 @@
+// The paper's example continuous queries, wired as operator pipelines.
+//
+// Q1 (Section 2): raise an alert when a frozen product is outside a freezer
+// container (or uncontained) at an above-freezing location for 6 hours.
+// The inner CQL block joins Products[Now] with Temperature[Partition By
+// sensor Rows 1] under the container/temperature predicates; the outer
+// block pattern-matches SEQ(A+) per tag over the 6-hour span.
+//
+// Q2 (Section 5.4): report frozen food exposed to a temperature over 10
+// degrees for 10 hours -- the location-only variant (no containment
+// predicate), which the paper uses to isolate the effect of containment
+// accuracy on query quality.
+#ifndef RFID_QUERY_QUERIES_H_
+#define RFID_QUERY_QUERIES_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "stream/operator.h"
+#include "stream/operators.h"
+#include "stream/pattern.h"
+#include "trace/product_catalog.h"
+#include "trace/reading.h"
+
+namespace rfid {
+
+struct ExposureQueryConfig {
+  /// Alert when exposed above this temperature...
+  double temp_threshold = 0.0;
+  /// ...for longer than this span (Q1: 6 hrs; benches scale it down).
+  Epoch duration = 6 * 3600;
+  /// Contiguity bound of the SEQ(A+) run.
+  Epoch max_gap = 120;
+  /// Apply Q1's containment predicate (container not a freezer / NULL).
+  bool check_container = true;
+};
+
+/// One fired alert.
+struct ExposureAlert {
+  TagId tag;
+  Epoch first_time = 0;
+  Epoch last_time = 0;
+  int64_t n_events = 0;
+};
+
+/// A continuous query instance over one site's event + sensor streams.
+class ExposureQuery {
+ public:
+  /// `catalog` must outlive the query.
+  ExposureQuery(const ProductCatalog* catalog, ExposureQueryConfig config);
+
+  /// Q1 with the paper's predicates.
+  static ExposureQueryConfig Q1Config(Epoch duration = 6 * 3600) {
+    ExposureQueryConfig cfg;
+    cfg.temp_threshold = 0.0;
+    cfg.duration = duration;
+    cfg.check_container = true;
+    return cfg;
+  }
+  /// Q2: location-only, 10 degrees / 10 hours.
+  static ExposureQueryConfig Q2Config(Epoch duration = 10 * 3600) {
+    ExposureQueryConfig cfg;
+    cfg.temp_threshold = 10.0;
+    cfg.duration = duration;
+    cfg.check_container = false;
+    return cfg;
+  }
+
+  /// Feeds one inferred object event (the Products stream).
+  void OnEvent(const ObjectEvent& event);
+
+  /// Feeds one sensor sample (the Temperature stream).
+  void OnSensor(const SensorReading& reading);
+
+  const std::vector<ExposureAlert>& alerts() const { return alerts_; }
+
+  // ---- Per-object query state (Section 4.2) ----
+
+  /// Serialized pattern state of one object; the migration payload.
+  std::vector<uint8_t> ExportState(TagId tag) const;
+
+  /// Installs migrated state, replacing any existing.
+  Status ImportState(TagId tag, const std::vector<uint8_t>& bytes);
+
+  /// Removes and returns the state of a departing object.
+  std::vector<uint8_t> TakeState(TagId tag);
+
+  /// Objects with live pattern state.
+  std::vector<TagId> StatefulObjects() const;
+
+ private:
+  const ProductCatalog* catalog_;
+  ExposureQueryConfig config_;
+  std::unique_ptr<FilterOp> product_filter_;
+  std::unique_ptr<JoinLatestOp> join_;
+  std::unique_ptr<FilterOp> temp_filter_;
+  std::unique_ptr<PatternSeqOp> pattern_;
+  std::unique_ptr<CallbackOperator> sink_;
+  std::vector<ExposureAlert> alerts_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_QUERY_QUERIES_H_

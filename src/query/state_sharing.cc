@@ -1,0 +1,146 @@
+#include "query/state_sharing.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+
+namespace rfid {
+
+size_t ByteDistance(const std::vector<uint8_t>& a,
+                    const std::vector<uint8_t>& b) {
+  const size_t common = std::min(a.size(), b.size());
+  size_t diff = std::max(a.size(), b.size()) - common;
+  for (size_t i = 0; i < common; ++i) {
+    if (a[i] != b[i]) ++diff;
+  }
+  return diff;
+}
+
+std::vector<uint8_t> DiffEncode(const std::vector<uint8_t>& base,
+                                const std::vector<uint8_t>& target) {
+  BufferWriter w;
+  w.PutVarint(target.size());
+  size_t pos = 0;
+  size_t last_emitted = 0;
+  while (pos < target.size()) {
+    // Find the next differing byte.
+    while (pos < target.size() && pos < base.size() &&
+           base[pos] == target[pos]) {
+      ++pos;
+    }
+    if (pos >= target.size()) break;
+    // Extend the differing run (allow short equal gaps to merge runs and
+    // save per-run overhead).
+    size_t run_end = pos;
+    size_t equal_streak = 0;
+    size_t scan = pos;
+    while (scan < target.size()) {
+      const bool same = scan < base.size() && base[scan] == target[scan];
+      if (same) {
+        ++equal_streak;
+        if (equal_streak > 3) break;
+      } else {
+        equal_streak = 0;
+        run_end = scan + 1;
+      }
+      ++scan;
+    }
+    w.PutVarint(pos - last_emitted);      // skip from previous run end
+    w.PutVarint(run_end - pos);           // literal length
+    w.PutBytes(target.data() + pos, run_end - pos);
+    last_emitted = run_end;
+    pos = run_end;
+  }
+  return w.Release();
+}
+
+Result<std::vector<uint8_t>> DiffApply(const std::vector<uint8_t>& base,
+                                       const std::vector<uint8_t>& diff) {
+  BufferReader r(diff);
+  uint64_t target_len = 0;
+  RFID_RETURN_NOT_OK(r.GetVarint(&target_len));
+  std::vector<uint8_t> out;
+  out.reserve(target_len);
+  // Start from the base truncated/extended to the target length.
+  out.assign(base.begin(),
+             base.begin() + static_cast<int64_t>(
+                                std::min<uint64_t>(base.size(), target_len)));
+  out.resize(target_len, 0);
+  size_t pos = 0;
+  while (!r.exhausted()) {
+    uint64_t skip = 0, len = 0;
+    RFID_RETURN_NOT_OK(r.GetVarint(&skip));
+    RFID_RETURN_NOT_OK(r.GetVarint(&len));
+    pos += skip;
+    if (pos + len > out.size() || len > r.remaining()) {
+      return Status::Corruption("diff run out of bounds");
+    }
+    for (uint64_t i = 0; i < len; ++i) {
+      uint8_t b = 0;
+      RFID_RETURN_NOT_OK(r.GetU8(&b));
+      out[pos++] = b;
+    }
+  }
+  return out;
+}
+
+size_t SharedStateBundle::TotalBytes() const {
+  size_t total = centroid_state.size();
+  total += tags.size() * sizeof(uint64_t);  // tag ids
+  for (const auto& d : diffs) total += d.size();
+  return total;
+}
+
+SharedStateBundle ShareStates(
+    const std::vector<std::pair<TagId, std::vector<uint8_t>>>& states) {
+  SharedStateBundle bundle;
+  if (states.empty()) return bundle;
+
+  // Medoid selection: minimize the total byte distance to the others.
+  size_t best = 0;
+  size_t best_cost = SIZE_MAX;
+  for (size_t i = 0; i < states.size(); ++i) {
+    size_t cost = 0;
+    for (size_t j = 0; j < states.size(); ++j) {
+      if (i != j) cost += ByteDistance(states[i].second, states[j].second);
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+
+  bundle.centroid_index = best;
+  bundle.centroid_state = states[best].second;
+  for (size_t i = 0; i < states.size(); ++i) {
+    bundle.tags.push_back(states[i].first);
+    if (i == best) {
+      bundle.diffs.emplace_back();
+    } else {
+      bundle.diffs.push_back(
+          DiffEncode(bundle.centroid_state, states[i].second));
+    }
+  }
+  return bundle;
+}
+
+Result<std::vector<std::pair<TagId, std::vector<uint8_t>>>> UnshareStates(
+    const SharedStateBundle& bundle) {
+  if (bundle.tags.size() != bundle.diffs.size()) {
+    return Status::InvalidArgument("bundle tag/diff size mismatch");
+  }
+  std::vector<std::pair<TagId, std::vector<uint8_t>>> out;
+  for (size_t i = 0; i < bundle.tags.size(); ++i) {
+    if (i == bundle.centroid_index) {
+      out.emplace_back(bundle.tags[i], bundle.centroid_state);
+    } else {
+      Result<std::vector<uint8_t>> restored =
+          DiffApply(bundle.centroid_state, bundle.diffs[i]);
+      RFID_RETURN_NOT_OK(restored.status());
+      out.emplace_back(bundle.tags[i], std::move(restored).value());
+    }
+  }
+  return out;
+}
+
+}  // namespace rfid

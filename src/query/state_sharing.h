@@ -1,0 +1,62 @@
+// Centroid-based query-state sharing (Section 4.2, Appendix B).
+//
+// "These objects have the same container and location at present (but
+// possibly different histories). The query states for these objects are
+// likely to have commonalities. Hence, we propose a centroid-based sharing
+// technique that finds the most representative query state and compresses
+// other similar query states by storing only the differences."
+//
+// The distance function "counts the number of bytes that differ in the
+// query state of two objects"; centroid selection is the O(n^2) medoid scan
+// the paper deems affordable for 20-50 objects per case.
+#ifndef RFID_QUERY_STATE_SHARING_H_
+#define RFID_QUERY_STATE_SHARING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace rfid {
+
+/// Number of differing bytes between two byte strings (positions beyond the
+/// shorter one all count as differing).
+size_t ByteDistance(const std::vector<uint8_t>& a,
+                    const std::vector<uint8_t>& b);
+
+/// Encodes `target` as a delta against `base`: varint target length, then
+/// (skip, literal-run) pairs covering every differing byte.
+std::vector<uint8_t> DiffEncode(const std::vector<uint8_t>& base,
+                                const std::vector<uint8_t>& target);
+
+/// Reconstructs the target from `base` and a DiffEncode payload.
+Result<std::vector<uint8_t>> DiffApply(const std::vector<uint8_t>& base,
+                                       const std::vector<uint8_t>& diff);
+
+/// A group of query states compressed against their medoid.
+struct SharedStateBundle {
+  /// Index into `tags` of the centroid (its state is stored raw).
+  size_t centroid_index = 0;
+  std::vector<uint8_t> centroid_state;
+  std::vector<TagId> tags;
+  /// diffs[i] reconstructs tags[i]'s state from the centroid;
+  /// diffs[centroid_index] is empty.
+  std::vector<std::vector<uint8_t>> diffs;
+
+  /// Bytes the bundle occupies on the wire (centroid + diffs + tag ids).
+  size_t TotalBytes() const;
+};
+
+/// Compresses a group of per-object states (same container at the exit
+/// point). Requires at least one entry.
+SharedStateBundle ShareStates(
+    const std::vector<std::pair<TagId, std::vector<uint8_t>>>& states);
+
+/// Expands a bundle back to per-object states.
+Result<std::vector<std::pair<TagId, std::vector<uint8_t>>>> UnshareStates(
+    const SharedStateBundle& bundle);
+
+}  // namespace rfid
+
+#endif  // RFID_QUERY_STATE_SHARING_H_

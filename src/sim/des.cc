@@ -1,0 +1,24 @@
+#include "sim/des.h"
+
+namespace rfid {
+
+void EventQueue::Schedule(Epoch t, Callback cb) {
+  if (t < now_) t = now_;  // clamp: the past is immutable
+  heap_.push(Entry{t, next_seq_++, std::move(cb)});
+}
+
+int64_t EventQueue::RunUntil(Epoch horizon) {
+  int64_t executed = 0;
+  while (!heap_.empty() && heap_.top().time <= horizon) {
+    // Copy out before pop so the callback may schedule new events.
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.time;
+    e.cb();
+    ++executed;
+  }
+  now_ = horizon;
+  return executed;
+}
+
+}  // namespace rfid

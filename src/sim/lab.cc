@@ -1,0 +1,115 @@
+#include "sim/lab.h"
+
+#include <cassert>
+
+#include "sim/des.h"
+
+namespace rfid {
+
+LabTraceSpec LabSpecFor(int trace_index) {
+  // T1..T4 stable containment; T5..T8 repeat the grid with changes.
+  LabTraceSpec spec;
+  int base = (trace_index - 1) % 4;           // 0..3
+  spec.with_changes = trace_index >= 5;
+  spec.read_rate = (base == 0 || base == 1) ? 0.85 : 0.70;
+  spec.overlap = (base == 0 || base == 2) ? 0.25 : 0.50;
+  return spec;
+}
+
+LabDeployment::LabDeployment(LabConfig config)
+    : config_(config),
+      layout_(/*num_sites=*/1, /*shelves_per_site=*/4),
+      model_(ReadRateModel::Uniform(1, 0.5)),  // replaced below
+      schedule_(1),                            // replaced below
+      rng_(config_.seed) {
+  ReadRateParams rr;
+  rr.main = config_.spec.read_rate;
+  rr.overlap = config_.spec.overlap;
+  model_ = layout_.BuildReadRateModel(rr, rng_);
+  ScheduleParams sp;  // defaults: nonshelf every 1 s, shelf every 10 s
+  schedule_ = layout_.BuildSchedule(sp, model_);
+}
+
+void LabDeployment::Run() {
+  assert(!ran_);
+  ran_ = true;
+  EventQueue queue;
+  ReaderSim reader_sim(&model_, &schedule_, rng_.NextU64());
+  const SiteLayout& site = layout_.site(0);
+
+  // Create the 20 cases x 5 items and schedule their staggered entries.
+  Epoch all_shelved_by = 0;
+  for (int c = 0; c < config_.num_cases; ++c) {
+    TagId case_tag = world_.NewCase();
+    cases_.push_back(case_tag);
+    for (int k = 0; k < config_.items_per_case; ++k) {
+      TagId item = world_.NewItem();
+      items_.push_back(item);
+      world_.SetContainer(item, case_tag, 0);
+    }
+    const Epoch enter = static_cast<Epoch>(c) * config_.case_arrival_spacing;
+    const Epoch to_belt = enter + config_.entry_dwell;
+    const Epoch to_shelf = to_belt + config_.belt_dwell;
+    all_shelved_by = std::max(all_shelved_by, to_shelf);
+    queue.Schedule(enter, [this, case_tag, site] {
+      world_.PlaceGroup(case_tag, site.entry, 0);
+    });
+    queue.Schedule(to_belt, [this, case_tag, site, to_belt] {
+      world_.PlaceGroup(case_tag, site.belt, to_belt);
+    });
+    queue.Schedule(to_shelf, [this, case_tag, site, to_shelf] {
+      LocationId shelf = site.shelves[static_cast<size_t>(
+          rng_.NextBounded(site.shelves.size()))];
+      world_.PlaceGroup(case_tag, shelf, to_shelf);
+    });
+  }
+
+  // T5..T8: "when all 20 cases were placed on shelves, 3 items were moved
+  // from one case to another and 1 item was simply removed".
+  if (config_.spec.with_changes) {
+    const Epoch change_at = all_shelved_by + 60;
+    queue.Schedule(change_at, [this, change_at] {
+      std::vector<TagId> pool = items_;
+      rng_.Shuffle(pool);
+      int moved = 0;
+      size_t cursor = 0;
+      while (moved < 3 && cursor < pool.size()) {
+        TagId item = pool[cursor++];
+        TagId from_case = world_.ContainerOf(item);
+        TagId to_case = cases_[static_cast<size_t>(
+            rng_.NextBounded(cases_.size()))];
+        if (to_case == from_case) continue;
+        world_.SetContainer(item, to_case, change_at);
+        world_.Place(item, world_.LocationOf(to_case), change_at);
+        changes_.push_back(LabChange{change_at, item, from_case, to_case});
+        ++moved;
+      }
+      if (cursor < pool.size()) {
+        TagId removed = pool[cursor];
+        TagId from_case = world_.ContainerOf(removed);
+        changes_.push_back(LabChange{change_at, removed, from_case, kNoTag});
+        world_.RemoveGroup(removed, change_at);
+      }
+    });
+  }
+
+  // Near the end of the trace, cases file out through the exit reader.
+  const Epoch exit_start = config_.horizon - 60;
+  for (int c = 0; c < config_.num_cases; ++c) {
+    TagId case_tag = cases_[static_cast<size_t>(c)];
+    const Epoch at = exit_start + c % 50;
+    queue.Schedule(at, [this, case_tag, site, at] {
+      world_.PlaceGroup(case_tag, site.exit, at);
+    });
+  }
+
+  CallbackSink sink([this](const RawReading& r) { trace_.Add(r); });
+  for (Epoch t = 0; t <= config_.horizon; ++t) {
+    queue.RunUntil(t);
+    reader_sim.ScanEpoch(world_, t, &sink);
+  }
+  world_.Finish(config_.horizon);
+  trace_.Seal();
+}
+
+}  // namespace rfid

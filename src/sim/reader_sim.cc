@@ -1,0 +1,39 @@
+#include "sim/reader_sim.h"
+
+#include "common/log_space.h"
+
+namespace rfid {
+
+ReaderSim::ReaderSim(const ReadRateModel* model,
+                     const InterrogationSchedule* schedule, uint64_t seed)
+    : model_(model), schedule_(schedule), rng_(seed) {
+  const int R = model_->num_locations();
+  coverage_.resize(static_cast<size_t>(R));
+  for (LocationId r = 0; r < R; ++r) {
+    for (LocationId a = 0; a < R; ++a) {
+      const double p = model_->Rate(r, a);
+      if (p > kProbFloor * 2) {
+        coverage_[static_cast<size_t>(r)].push_back(Coverage{a, p});
+      }
+    }
+  }
+}
+
+int64_t ReaderSim::ScanEpoch(const World& world, Epoch t, ReadingSink* sink) {
+  int64_t produced = 0;
+  const int R = model_->num_locations();
+  for (LocationId r = 0; r < R; ++r) {
+    if (!schedule_->ActiveAt(r, t)) continue;
+    for (const Coverage& cov : coverage_[static_cast<size_t>(r)]) {
+      for (TagId tag : world.TagsAt(cov.loc)) {
+        if (rng_.NextBernoulli(cov.rate)) {
+          sink->OnReading(RawReading{t, tag, r});
+          ++produced;
+        }
+      }
+    }
+  }
+  return produced;
+}
+
+}  // namespace rfid

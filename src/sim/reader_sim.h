@@ -1,0 +1,64 @@
+// Reading generation: each epoch, every reader that is due per the
+// interrogation schedule scans every tag in its read range and detects it
+// with probability pi(reader, tag location) -- exactly the generative
+// process of Section 3.1, driven by the simulated world state.
+#ifndef RFID_SIM_READER_SIM_H_
+#define RFID_SIM_READER_SIM_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "model/read_rate.h"
+#include "model/schedule.h"
+#include "sim/world.h"
+#include "trace/reading.h"
+
+namespace rfid {
+
+/// Consumer of generated readings. Implementations materialize traces,
+/// feed streaming pipelines, or route to per-site inference.
+class ReadingSink {
+ public:
+  virtual ~ReadingSink() = default;
+  virtual void OnReading(const RawReading& reading) = 0;
+};
+
+/// ReadingSink adapter around a callable.
+class CallbackSink final : public ReadingSink {
+ public:
+  explicit CallbackSink(std::function<void(const RawReading&)> fn)
+      : fn_(std::move(fn)) {}
+  void OnReading(const RawReading& reading) override { fn_(reading); }
+
+ private:
+  std::function<void(const RawReading&)> fn_;
+};
+
+/// Generates readings for one epoch at a time.
+class ReaderSim {
+ public:
+  /// `model` and `schedule` must outlive the ReaderSim.
+  ReaderSim(const ReadRateModel* model, const InterrogationSchedule* schedule,
+            uint64_t seed);
+
+  /// Scans the world at epoch `t`, emitting readings to `sink`.
+  /// Returns the number of readings generated.
+  int64_t ScanEpoch(const World& world, Epoch t, ReadingSink* sink);
+
+ private:
+  const ReadRateModel* model_;
+  const InterrogationSchedule* schedule_;
+  /// Per reader: locations it can detect (rate above the floor), with rate.
+  struct Coverage {
+    LocationId loc;
+    double rate;
+  };
+  std::vector<std::vector<Coverage>> coverage_;
+  Rng rng_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_SIM_READER_SIM_H_

@@ -1,0 +1,28 @@
+#include "sim/sensors.h"
+
+#include <algorithm>
+
+namespace rfid {
+
+std::vector<SensorReading> GenerateSensorStream(const SensorConfig& config,
+                                                int num_locations,
+                                                Epoch horizon, Rng& rng) {
+  std::vector<SensorReading> out;
+  std::vector<bool> cold(static_cast<size_t>(num_locations), false);
+  for (LocationId loc : config.cold_locations) {
+    if (loc >= 0 && loc < num_locations) {
+      cold[static_cast<size_t>(loc)] = true;
+    }
+  }
+  for (Epoch t = 0; t <= horizon; t += config.period) {
+    for (LocationId loc = 0; loc < num_locations; ++loc) {
+      const double base =
+          cold[static_cast<size_t>(loc)] ? config.cold_temp : config.ambient;
+      const double jitter = rng.NextUniform(-config.noise, config.noise);
+      out.push_back(SensorReading{t, loc, base + jitter});
+    }
+  }
+  return out;
+}
+
+}  // namespace rfid

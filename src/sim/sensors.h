@@ -1,0 +1,35 @@
+// Environmental sensor simulation: a temperature stream per reader
+// location, the second input of hybrid queries like Q1 ("combines sensor
+// streams (e.g., temperature) and RFID streams").
+#ifndef RFID_SIM_SENSORS_H_
+#define RFID_SIM_SENSORS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "trace/reading.h"
+
+namespace rfid {
+
+struct SensorConfig {
+  /// One sample per location every `period` epochs.
+  Epoch period = 10;
+  /// Room temperature at ordinary locations (deg C).
+  double ambient = 20.0;
+  /// Temperature inside cold rooms.
+  double cold_temp = -10.0;
+  /// Gaussian-ish jitter amplitude (uniform +/- noise).
+  double noise = 0.5;
+  /// Locations that are cold rooms (e.g. refrigerated shelves).
+  std::vector<LocationId> cold_locations;
+};
+
+/// Generates the full sensor stream for [0, horizon], time-ordered.
+std::vector<SensorReading> GenerateSensorStream(const SensorConfig& config,
+                                                int num_locations,
+                                                Epoch horizon, Rng& rng);
+
+}  // namespace rfid
+
+#endif  // RFID_SIM_SENSORS_H_

@@ -1,0 +1,61 @@
+// Push-based operator pipeline for continuous queries (CQL [2] subset).
+//
+// Operators form a DAG: each operator receives tuples via Push and forwards
+// derived tuples to its downstream. All operators are single-threaded, as
+// in the paper's prototype; state is explicit and, where per-object,
+// exportable for migration.
+#ifndef RFID_STREAM_OPERATOR_H_
+#define RFID_STREAM_OPERATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "stream/tuple.h"
+
+namespace rfid {
+
+/// Base class of pipeline stages.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Consumes one input tuple.
+  virtual void Push(const Tuple& tuple) = 0;
+
+  /// Sets the next stage; not owned, must outlive this operator.
+  void SetDownstream(Operator* next) { downstream_ = next; }
+
+ protected:
+  void Emit(const Tuple& tuple) {
+    if (downstream_ != nullptr) downstream_->Push(tuple);
+  }
+
+ private:
+  Operator* downstream_ = nullptr;
+};
+
+/// Terminal stage that materializes results.
+class CollectSink final : public Operator {
+ public:
+  void Push(const Tuple& tuple) override { results_.push_back(tuple); }
+  const std::vector<Tuple>& results() const { return results_; }
+  void Clear() { results_.clear(); }
+
+ private:
+  std::vector<Tuple> results_;
+};
+
+/// Terminal stage invoking a callback.
+class CallbackOperator final : public Operator {
+ public:
+  explicit CallbackOperator(std::function<void(const Tuple&)> fn)
+      : fn_(std::move(fn)) {}
+  void Push(const Tuple& tuple) override { fn_(tuple); }
+
+ private:
+  std::function<void(const Tuple&)> fn_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_STREAM_OPERATOR_H_

@@ -1,0 +1,93 @@
+// Relational stream operators: selection, projection, and the
+// [Now] x [Partition By k Rows 1] stream join Query 1 uses.
+#ifndef RFID_STREAM_OPERATORS_H_
+#define RFID_STREAM_OPERATORS_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/operator.h"
+#include "stream/tuple.h"
+
+namespace rfid {
+
+/// Selection: forwards tuples satisfying the predicate.
+class FilterOp final : public Operator {
+ public:
+  explicit FilterOp(std::function<bool(const Tuple&)> pred)
+      : pred_(std::move(pred)) {}
+  void Push(const Tuple& tuple) override {
+    if (pred_(tuple)) Emit(tuple);
+  }
+
+ private:
+  std::function<bool(const Tuple&)> pred_;
+};
+
+/// Projection / arbitrary per-tuple mapping.
+class MapOp final : public Operator {
+ public:
+  explicit MapOp(std::function<Tuple(const Tuple&)> fn) : fn_(std::move(fn)) {}
+  void Push(const Tuple& tuple) override { Emit(fn_(tuple)); }
+
+ private:
+  std::function<Tuple(const Tuple&)> fn_;
+};
+
+/// The Query-1 join: a [Now]-windowed left stream joined against the most
+/// recent tuple per partition of the right stream ([Partition By key
+/// Rows 1]). Left tuples probe; right tuples only update partition state.
+/// The Rstream of the join is emitted (each left arrival produces at most
+/// one output now-tuple), matching CQL's Rstream(...) over a Now window.
+class JoinLatestOp final : public Operator {
+ public:
+  /// `left_key` / `right_key`: column index of the join key on each side.
+  /// The output tuple is left values followed by right values.
+  JoinLatestOp(int left_key, int right_key)
+      : left_key_(left_key), right_key_(right_key) {}
+
+  /// Input port for the right (state) stream.
+  class RightPort final : public Operator {
+   public:
+    explicit RightPort(JoinLatestOp* parent) : parent_(parent) {}
+    void Push(const Tuple& tuple) override { parent_->PushRight(tuple); }
+
+   private:
+    JoinLatestOp* parent_;
+  };
+
+  /// Left input: probe and emit.
+  void Push(const Tuple& tuple) override {
+    auto it = latest_.find(KeyOf(tuple, left_key_));
+    if (it == latest_.end()) return;
+    Tuple joined;
+    joined.time = tuple.time;
+    joined.values = tuple.values;
+    joined.values.insert(joined.values.end(), it->second.values.begin(),
+                         it->second.values.end());
+    Emit(joined);
+  }
+
+  void PushRight(const Tuple& tuple) {
+    latest_[KeyOf(tuple, right_key_)] = tuple;
+  }
+
+  RightPort* right_port() { return &right_port_; }
+
+  size_t partitions() const { return latest_.size(); }
+
+ private:
+  static std::string KeyOf(const Tuple& t, int idx) {
+    return ToString(t.at(idx));
+  }
+
+  int left_key_;
+  int right_key_;
+  RightPort right_port_{this};
+  std::unordered_map<std::string, Tuple> latest_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_STREAM_OPERATORS_H_

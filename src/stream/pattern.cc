@@ -1,0 +1,128 @@
+#include "stream/pattern.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+
+namespace rfid {
+
+std::vector<uint8_t> PatternState::Encode() const {
+  BufferWriter w;
+  w.PutU8(static_cast<uint8_t>(phase));
+  w.PutSignedVarint(first_time);
+  w.PutSignedVarint(last_time);
+  w.PutVarint(value_log.size());
+  Epoch prev = 0;
+  for (const auto& [t, v] : value_log) {
+    w.PutSignedVarint(t - prev);
+    w.PutDouble(v);
+    prev = t;
+  }
+  return w.Release();
+}
+
+Result<PatternState> PatternState::Decode(const std::vector<uint8_t>& bytes) {
+  BufferReader r(bytes);
+  PatternState s;
+  uint8_t phase = 0;
+  RFID_RETURN_NOT_OK(r.GetU8(&phase));
+  if (phase > static_cast<uint8_t>(RunPhase::kAlerted)) {
+    return Status::Corruption("bad pattern phase");
+  }
+  s.phase = static_cast<RunPhase>(phase);
+  RFID_RETURN_NOT_OK(r.GetSignedVarint(&s.first_time));
+  RFID_RETURN_NOT_OK(r.GetSignedVarint(&s.last_time));
+  uint64_t n = 0;
+  RFID_RETURN_NOT_OK(r.GetVarint(&n));
+  Epoch prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t dt = 0;
+    double v = 0;
+    RFID_RETURN_NOT_OK(r.GetSignedVarint(&dt));
+    RFID_RETURN_NOT_OK(r.GetDouble(&v));
+    prev += dt;
+    s.value_log.emplace_back(prev, v);
+  }
+  return s;
+}
+
+void PatternSeqOp::Push(const Tuple& tuple) {
+  const Value& key_val = tuple.at(options_.partition_col);
+  if (!std::holds_alternative<TagId>(key_val)) return;
+  const TagId tag = std::get<TagId>(key_val);
+  PatternState& s = states_[tag];
+
+  // Lapse the run if the event stream for this partition went quiet.
+  if (s.phase != RunPhase::kIdle &&
+      tuple.time - s.last_time > options_.max_gap) {
+    s = PatternState{};
+  }
+
+  double logged = 0.0;
+  bool has_value = false;
+  if (options_.value_col >= 0) {
+    const Value& v = tuple.at(options_.value_col);
+    if (std::holds_alternative<double>(v)) {
+      logged = std::get<double>(v);
+      has_value = true;
+    } else if (std::holds_alternative<int64_t>(v)) {
+      logged = static_cast<double>(std::get<int64_t>(v));
+      has_value = true;
+    }
+  }
+
+  switch (s.phase) {
+    case RunPhase::kIdle:
+      s.phase = RunPhase::kAccumulating;
+      s.first_time = tuple.time;
+      s.last_time = tuple.time;
+      s.value_log.clear();
+      if (has_value) s.value_log.emplace_back(tuple.time, logged);
+      break;
+    case RunPhase::kAccumulating:
+    case RunPhase::kAlerted:
+      s.last_time = tuple.time;
+      if (has_value) s.value_log.emplace_back(tuple.time, logged);
+      break;
+  }
+
+  if (s.phase == RunPhase::kAccumulating &&
+      s.last_time > s.first_time + options_.min_duration) {
+    Tuple alert;
+    alert.time = tuple.time;
+    alert.values = {Value{tag}, Value{s.first_time}, Value{s.last_time},
+                    Value{static_cast<int64_t>(
+                        std::max<size_t>(1, s.value_log.size()))}};
+    Emit(alert);
+    ++alerts_emitted_;
+    s.phase = options_.emit_once_per_run ? RunPhase::kAlerted
+                                         : RunPhase::kAccumulating;
+  }
+}
+
+PatternState PatternSeqOp::StateOf(TagId tag) const {
+  auto it = states_.find(tag);
+  return it == states_.end() ? PatternState{} : it->second;
+}
+
+void PatternSeqOp::SetState(TagId tag, PatternState state) {
+  states_[tag] = std::move(state);
+}
+
+PatternState PatternSeqOp::TakeState(TagId tag) {
+  auto it = states_.find(tag);
+  if (it == states_.end()) return PatternState{};
+  PatternState out = std::move(it->second);
+  states_.erase(it);
+  return out;
+}
+
+std::vector<TagId> PatternSeqOp::Partitions() const {
+  std::vector<TagId> tags;
+  tags.reserve(states_.size());
+  for (const auto& [tag, unused] : states_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+}  // namespace rfid

@@ -1,0 +1,92 @@
+// Automaton-based SEQ(A+) pattern matching over partitioned streams, the
+// extension of [1] (SASE-style NFA) that Query 1 uses:
+//
+//   [ Pattern SEQ(A+)
+//     Where A[i].tag_id = A[1].tag_id and
+//           A[A.len].time > A[1].time + 6 hrs ]
+//
+// Each partition (tag id) runs one automaton: Idle -> Accumulating on the
+// first matching event, stays Accumulating while matching events keep
+// arriving contiguously, and fires when the run's span exceeds the duration
+// bound. Contiguity on a sampled stream means "no gap larger than max_gap":
+// an object that stops matching (back inside a freezer) stops producing
+// events, and its run must lapse rather than bridge to a later exposure.
+//
+// The per-partition state is exactly the query state of Appendix B: (i) the
+// automaton state, (ii) the minimum values needed for future evaluation
+// (first/last event time), and (iii) the values the query returns (the
+// logged readings). It serializes to a compact byte string -- the unit of
+// query-state migration and of centroid-based sharing (Section 4.2).
+#ifndef RFID_STREAM_PATTERN_H_
+#define RFID_STREAM_PATTERN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "stream/operator.h"
+
+namespace rfid {
+
+struct PatternOptions {
+  /// Column holding the partition key; must be a TagId value.
+  int partition_col = 0;
+  /// Column whose double value is logged with each event (-1: log nothing).
+  int value_col = -1;
+  /// Fire when last.time - first.time exceeds this span.
+  Epoch min_duration = 6 * 3600;
+  /// A gap above this between consecutive events lapses the run.
+  Epoch max_gap = 120;
+  /// Fire at most once per run (re-arm after the run lapses).
+  bool emit_once_per_run = true;
+};
+
+/// Automaton phase of one partition.
+enum class RunPhase : uint8_t { kIdle = 0, kAccumulating = 1, kAlerted = 2 };
+
+/// Serializable per-partition query state.
+struct PatternState {
+  RunPhase phase = RunPhase::kIdle;
+  Epoch first_time = 0;
+  Epoch last_time = 0;
+  /// Logged (time, value) pairs of the current run (A[].temp in Q1).
+  std::vector<std::pair<Epoch, double>> value_log;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<PatternState> Decode(const std::vector<uint8_t>& bytes);
+
+  friend bool operator==(const PatternState&, const PatternState&) = default;
+};
+
+/// The pattern operator. Emits one alert tuple per completed match with
+/// schema [tag, first_time, last_time, n_events].
+class PatternSeqOp final : public Operator {
+ public:
+  explicit PatternSeqOp(PatternOptions options) : options_(options) {}
+
+  void Push(const Tuple& tuple) override;
+
+  /// Current state of one partition (default state when absent).
+  PatternState StateOf(TagId tag) const;
+
+  /// Installs (migrated) state for a partition, replacing any existing.
+  void SetState(TagId tag, PatternState state);
+
+  /// Removes a partition's state (object departed) and returns it.
+  PatternState TakeState(TagId tag);
+
+  /// All partitions with live state.
+  std::vector<TagId> Partitions() const;
+
+  int64_t alerts_emitted() const { return alerts_emitted_; }
+
+ private:
+  PatternOptions options_;
+  std::unordered_map<TagId, PatternState> states_;
+  int64_t alerts_emitted_ = 0;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_STREAM_PATTERN_H_

@@ -1,0 +1,43 @@
+// Schema'd stream tuples.
+#ifndef RFID_STREAM_TUPLE_H_
+#define RFID_STREAM_TUPLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "stream/value.h"
+
+namespace rfid {
+
+/// Attribute names of a stream; shared by all its tuples.
+class Schema {
+ public:
+  explicit Schema(std::vector<std::string> names) : names_(std::move(names)) {}
+
+  int IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// One stream element: a timestamp plus attribute values positioned per the
+/// stream's schema.
+struct Tuple {
+  Epoch time = 0;
+  std::vector<Value> values;
+
+  const Value& at(int idx) const { return values[static_cast<size_t>(idx)]; }
+};
+
+}  // namespace rfid
+
+#endif  // RFID_STREAM_TUPLE_H_

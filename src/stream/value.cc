@@ -1,0 +1,100 @@
+#include "stream/value.h"
+
+namespace rfid {
+
+std::string ToString(const Value& v) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "null"; }
+    std::string operator()(int64_t x) const { return std::to_string(x); }
+    std::string operator()(double x) const { return std::to_string(x); }
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(TagId t) const { return t.ToString(); }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+namespace {
+enum : uint8_t {
+  kNullTag = 0,
+  kIntTag = 1,
+  kDoubleTag = 2,
+  kStringTag = 3,
+  kTagIdTag = 4,
+  kBoolTag = 5,
+};
+}  // namespace
+
+void EncodeValue(const Value& v, BufferWriter* w) {
+  struct Visitor {
+    BufferWriter* w;
+    void operator()(std::monostate) const { w->PutU8(kNullTag); }
+    void operator()(int64_t x) const {
+      w->PutU8(kIntTag);
+      w->PutSignedVarint(x);
+    }
+    void operator()(double x) const {
+      w->PutU8(kDoubleTag);
+      w->PutDouble(x);
+    }
+    void operator()(const std::string& s) const {
+      w->PutU8(kStringTag);
+      w->PutString(s);
+    }
+    void operator()(TagId t) const {
+      w->PutU8(kTagIdTag);
+      w->PutTagId(t);
+    }
+    void operator()(bool b) const {
+      w->PutU8(kBoolTag);
+      w->PutU8(b ? 1 : 0);
+    }
+  };
+  std::visit(Visitor{w}, v);
+}
+
+Status DecodeValue(BufferReader* r, Value* out) {
+  uint8_t tag = 0;
+  RFID_RETURN_NOT_OK(r->GetU8(&tag));
+  switch (tag) {
+    case kNullTag:
+      *out = std::monostate{};
+      return Status::OK();
+    case kIntTag: {
+      int64_t x = 0;
+      RFID_RETURN_NOT_OK(r->GetSignedVarint(&x));
+      *out = x;
+      return Status::OK();
+    }
+    case kDoubleTag: {
+      double x = 0;
+      RFID_RETURN_NOT_OK(r->GetDouble(&x));
+      *out = x;
+      return Status::OK();
+    }
+    case kStringTag: {
+      std::string s;
+      RFID_RETURN_NOT_OK(r->GetString(&s));
+      *out = std::move(s);
+      return Status::OK();
+    }
+    case kTagIdTag: {
+      TagId t;
+      RFID_RETURN_NOT_OK(r->GetTagId(&t));
+      *out = t;
+      return Status::OK();
+    }
+    case kBoolTag: {
+      uint8_t b = 0;
+      RFID_RETURN_NOT_OK(r->GetU8(&b));
+      *out = (b != 0);
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption("unknown value type tag");
+  }
+}
+
+bool ValueEquals(const Value& a, const Value& b) { return a == b; }
+
+}  // namespace rfid

@@ -1,0 +1,41 @@
+// Typed attribute values for stream tuples.
+//
+// The CQL-subset processor (Section 2 / Appendix B) carries object events,
+// sensor readings, and derived tuples through a uniform schema'd tuple
+// format; Value is the cell type.
+#ifndef RFID_STREAM_VALUE_H_
+#define RFID_STREAM_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace rfid {
+
+/// One attribute value. Monostate denotes SQL NULL (e.g. "container =
+/// NULL" in Query 1).
+using Value = std::variant<std::monostate, int64_t, double, std::string,
+                           TagId, bool>;
+
+/// True when the value is NULL.
+inline bool IsNull(const Value& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+/// Renders for debugging/CSV ("null", "3.5", "item:7", "true", ...).
+std::string ToString(const Value& v);
+
+/// Serializes with a one-byte type tag.
+void EncodeValue(const Value& v, BufferWriter* w);
+Status DecodeValue(BufferReader* r, Value* out);
+
+/// Equality that treats NULL == NULL as true (needed for state diffing).
+bool ValueEquals(const Value& a, const Value& b);
+
+}  // namespace rfid
+
+#endif  // RFID_STREAM_VALUE_H_

@@ -1,0 +1,90 @@
+#include "trace/ground_truth.h"
+
+#include <algorithm>
+
+namespace rfid {
+
+void GroundTruth::Set(TagId tag, Epoch time, LocationId loc,
+                      TagId container) {
+  auto& runs = intervals_[tag];
+  if (!runs.empty()) {
+    TruthInterval& last = runs.back();
+    if (last.loc == loc && last.container == container) {
+      // State unchanged; the open interval simply continues.
+      return;
+    }
+    // Close the previous interval the epoch before this change.
+    last.end = time - 1;
+    if (last.container != container) {
+      changes_.push_back(TruthChange{time, tag, last.container, container});
+    }
+    if (last.end < last.begin) {
+      // Zero-length run (two changes in one epoch): drop it.
+      runs.pop_back();
+    }
+  }
+  // `end` stays open until the next Set/Finish.
+  runs.push_back(TruthInterval{time, time, loc, container});
+}
+
+void GroundTruth::Finish(Epoch end_epoch) {
+  for (auto& [tag, runs] : intervals_) {
+    if (!runs.empty() && runs.back().end <= runs.back().begin) {
+      runs.back().end = std::max(runs.back().begin, end_epoch);
+    }
+  }
+  std::sort(changes_.begin(), changes_.end(),
+            [](const TruthChange& a, const TruthChange& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.tag < b.tag;
+            });
+  finished_ = true;
+}
+
+const TruthInterval* GroundTruth::FindInterval(TagId tag, Epoch t) const {
+  auto it = intervals_.find(tag);
+  if (it == intervals_.end()) return nullptr;
+  const auto& runs = it->second;
+  // Last interval whose begin <= t.
+  auto pos = std::upper_bound(
+      runs.begin(), runs.end(), t,
+      [](Epoch t_, const TruthInterval& iv) { return t_ < iv.begin; });
+  if (pos == runs.begin()) return nullptr;
+  --pos;
+  if (t > pos->end) return nullptr;
+  return &*pos;
+}
+
+LocationId GroundTruth::LocationAt(TagId tag, Epoch t) const {
+  const TruthInterval* iv = FindInterval(tag, t);
+  return iv == nullptr ? kNoLocation : iv->loc;
+}
+
+TagId GroundTruth::ContainerAt(TagId tag, Epoch t) const {
+  const TruthInterval* iv = FindInterval(tag, t);
+  return iv == nullptr ? kNoTag : iv->container;
+}
+
+bool GroundTruth::PresentAt(TagId tag, Epoch t) const {
+  const TruthInterval* iv = FindInterval(tag, t);
+  if (iv == nullptr) return false;
+  // A (no location, no container) interval is the departure tombstone
+  // written when a tag leaves the tracked world.
+  return !(iv->loc == kNoLocation && !iv->container.valid());
+}
+
+std::vector<TagId> GroundTruth::Tags() const {
+  std::vector<TagId> tags;
+  tags.reserve(intervals_.size());
+  for (const auto& [tag, unused] : intervals_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+const std::vector<TruthInterval>& GroundTruth::IntervalsOf(TagId tag) const {
+  static const std::vector<TruthInterval> kEmpty;
+  auto it = intervals_.find(tag);
+  return it == intervals_.end() ? kEmpty : it->second;
+}
+
+}  // namespace rfid

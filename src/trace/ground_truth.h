@@ -1,0 +1,83 @@
+// Ground-truth state of the simulated world, against which inference output
+// is scored (Appendix C.1 "we compare the inference results with the ground
+// truth and compute the error rate").
+//
+// Storage is interval-compressed: object state (location, container) changes
+// rarely relative to the 1-second epoch grid, so each tag keeps a sorted run
+// of constant-state intervals.
+#ifndef RFID_TRACE_GROUND_TRUTH_H_
+#define RFID_TRACE_GROUND_TRUTH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rfid {
+
+/// A maximal run of epochs during which a tag's true state was constant.
+struct TruthInterval {
+  Epoch begin = 0;  ///< inclusive
+  Epoch end = 0;    ///< inclusive
+  LocationId loc = kNoLocation;
+  TagId container;  ///< kNoTag when uncontained (e.g. a pallet)
+
+  friend bool operator==(const TruthInterval&,
+                         const TruthInterval&) = default;
+};
+
+/// A containment change event in the ground truth: at epoch `time`, `tag`
+/// moved from `from` to `to` (either may be kNoTag).
+struct TruthChange {
+  Epoch time = 0;
+  TagId tag;
+  TagId from;
+  TagId to;
+
+  friend bool operator==(const TruthChange&, const TruthChange&) = default;
+};
+
+/// Append-only recorder + queryable store of true per-tag state over time.
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+
+  /// Records that `tag` has state (loc, container) from `time` onward, until
+  /// the next Set for the same tag (or Finish). Calls for one tag must have
+  /// non-decreasing time.
+  void Set(TagId tag, Epoch time, LocationId loc, TagId container);
+
+  /// Closes all open intervals at `end_epoch` (inclusive).
+  void Finish(Epoch end_epoch);
+
+  /// True location of `tag` at epoch `t`; kNoLocation if unknown/absent.
+  LocationId LocationAt(TagId tag, Epoch t) const;
+
+  /// True container of `tag` at epoch `t`; kNoTag if uncontained/absent.
+  TagId ContainerAt(TagId tag, Epoch t) const;
+
+  /// True if the tag exists in the tracked world at epoch t. Departed tags
+  /// (removed from the world; no location and no container) are absent.
+  bool PresentAt(TagId tag, Epoch t) const;
+
+  /// All recorded containment changes, time-ordered. A change is recorded
+  /// whenever consecutive intervals of a tag have different containers.
+  const std::vector<TruthChange>& changes() const { return changes_; }
+
+  /// All tags ever recorded.
+  std::vector<TagId> Tags() const;
+
+  /// Intervals of one tag (time-ordered); empty if never recorded.
+  const std::vector<TruthInterval>& IntervalsOf(TagId tag) const;
+
+ private:
+  const TruthInterval* FindInterval(TagId tag, Epoch t) const;
+
+  std::unordered_map<TagId, std::vector<TruthInterval>> intervals_;
+  std::vector<TruthChange> changes_;
+  bool finished_ = false;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_TRACE_GROUND_TRUTH_H_

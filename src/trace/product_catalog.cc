@@ -1,0 +1,17 @@
+#include "trace/product_catalog.h"
+
+namespace rfid {
+
+std::string ToString(ContainerClass c) {
+  switch (c) {
+    case ContainerClass::kPlain:
+      return "plain";
+    case ContainerClass::kFreezer:
+      return "freezer";
+    case ContainerClass::kFireproof:
+      return "fireproof";
+  }
+  return "unknown";
+}
+
+}  // namespace rfid

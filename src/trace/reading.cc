@@ -1,0 +1,15 @@
+#include "trace/reading.h"
+
+namespace rfid {
+
+std::string ToString(const RawReading& r) {
+  return "(" + std::to_string(r.time) + ", " + r.tag.ToString() + ", reader " +
+         std::to_string(r.reader) + ")";
+}
+
+std::string ToString(const ObjectEvent& e) {
+  return "(" + std::to_string(e.time) + ", " + e.tag.ToString() + ", loc " +
+         std::to_string(e.loc) + ", container " + e.container.ToString() + ")";
+}
+
+}  // namespace rfid

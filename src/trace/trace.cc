@@ -1,0 +1,41 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace rfid {
+
+void Trace::Seal() {
+  std::sort(readings_.begin(), readings_.end(), RawReadingOrder{});
+  readings_.erase(std::unique(readings_.begin(), readings_.end()),
+                  readings_.end());
+  by_tag_.clear();
+  for (const RawReading& r : readings_) {
+    by_tag_[r.tag].push_back(TagRead{r.time, r.reader});
+  }
+  sealed_ = true;
+}
+
+const std::vector<TagRead>& Trace::HistoryOf(TagId tag) const {
+  static const std::vector<TagRead> kEmpty;
+  auto it = by_tag_.find(tag);
+  return it == by_tag_.end() ? kEmpty : it->second;
+}
+
+std::vector<TagId> Trace::Tags() const {
+  std::vector<TagId> tags;
+  tags.reserve(by_tag_.size());
+  for (const auto& [tag, unused] : by_tag_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+Trace Trace::Slice(Epoch begin, Epoch end) const {
+  Trace out;
+  for (const RawReading& r : readings_) {
+    if (r.time >= begin && r.time <= end) out.Add(r);
+  }
+  out.Seal();
+  return out;
+}
+
+}  // namespace rfid

@@ -1,0 +1,67 @@
+// In-memory trace containers: a time-ordered raw stream plus a per-tag
+// sparse index, which is the representation RFINFER consumes (Appendix A.3:
+// "many of these tables, especially the history tables, are sparse").
+#ifndef RFID_TRACE_TRACE_H_
+#define RFID_TRACE_TRACE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "trace/reading.h"
+
+namespace rfid {
+
+/// A raw RFID trace: readings in canonical (time, reader, tag) order with a
+/// per-tag sparse history index built lazily.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Appends one reading. Readings may arrive unsorted; call Seal() before
+  /// reading per-tag histories.
+  void Add(const RawReading& r) {
+    readings_.push_back(r);
+    sealed_ = false;
+  }
+
+  void Append(const std::vector<RawReading>& rs) {
+    readings_.insert(readings_.end(), rs.begin(), rs.end());
+    sealed_ = false;
+  }
+
+  /// Sorts readings into canonical order, removes exact duplicates, and
+  /// rebuilds the per-tag index.
+  void Seal();
+
+  bool sealed() const { return sealed_; }
+  size_t size() const { return readings_.size(); }
+  bool empty() const { return readings_.empty(); }
+
+  /// All readings in canonical order. Precondition: sealed().
+  const std::vector<RawReading>& readings() const { return readings_; }
+
+  /// Sparse history of one tag (time-ordered). Empty if the tag was never
+  /// read. Precondition: sealed().
+  const std::vector<TagRead>& HistoryOf(TagId tag) const;
+
+  /// All tags that appear in the trace. Precondition: sealed().
+  std::vector<TagId> Tags() const;
+
+  /// First/last epoch present; [0, -1] when empty. Precondition: sealed().
+  Epoch MinEpoch() const { return readings_.empty() ? 0 : readings_.front().time; }
+  Epoch MaxEpoch() const { return readings_.empty() ? -1 : readings_.back().time; }
+
+  /// Copies the readings with time in [begin, end] into a new trace.
+  Trace Slice(Epoch begin, Epoch end) const;
+
+ private:
+  std::vector<RawReading> readings_;
+  std::unordered_map<TagId, std::vector<TagRead>> by_tag_;
+  bool sealed_ = true;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_TRACE_TRACE_H_

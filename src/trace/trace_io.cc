@@ -1,0 +1,92 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+
+#include "common/serde.h"
+
+namespace rfid {
+
+namespace {
+constexpr uint32_t kTraceMagic = 0x52464454;  // "RFDT"
+}  // namespace
+
+std::vector<uint8_t> EncodeTrace(const Trace& trace) {
+  BufferWriter w;
+  w.PutU32(kTraceMagic);
+  w.PutVarint(trace.size());
+  Epoch prev_time = 0;
+  uint64_t prev_tag = 0;
+  for (const RawReading& r : trace.readings()) {
+    w.PutSignedVarint(r.time - prev_time);
+    w.PutVarint(static_cast<uint64_t>(r.reader));
+    w.PutSignedVarint(static_cast<int64_t>(r.tag.raw()) -
+                      static_cast<int64_t>(prev_tag));
+    prev_time = r.time;
+    prev_tag = r.tag.raw();
+  }
+  return w.Release();
+}
+
+Result<Trace> DecodeTrace(const std::vector<uint8_t>& bytes) {
+  BufferReader reader(bytes);
+  uint32_t magic;
+  RFID_RETURN_NOT_OK(reader.GetU32(&magic));
+  if (magic != kTraceMagic) {
+    return Status::Corruption("bad trace magic");
+  }
+  uint64_t count;
+  RFID_RETURN_NOT_OK(reader.GetVarint(&count));
+  Trace trace;
+  Epoch prev_time = 0;
+  uint64_t prev_tag = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t dt, dtag;
+    uint64_t rd;
+    RFID_RETURN_NOT_OK(reader.GetSignedVarint(&dt));
+    RFID_RETURN_NOT_OK(reader.GetVarint(&rd));
+    RFID_RETURN_NOT_OK(reader.GetSignedVarint(&dtag));
+    prev_time += dt;
+    prev_tag = static_cast<uint64_t>(static_cast<int64_t>(prev_tag) + dtag);
+    trace.Add(RawReading{prev_time, TagId::FromRaw(prev_tag),
+                         static_cast<LocationId>(rd)});
+  }
+  trace.Seal();
+  return trace;
+}
+
+Status WriteTraceFile(const Trace& trace, const std::string& path) {
+  std::vector<uint8_t> bytes = EncodeTrace(trace);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) return Status::IOError("short write " + path);
+  return Status::OK();
+}
+
+Result<Trace> ReadTraceFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::vector<uint8_t> bytes;
+  uint8_t chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+  return DecodeTrace(bytes);
+}
+
+Status WriteTraceCsv(const Trace& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fputs("time,tag,reader\n", f);
+  for (const RawReading& r : trace.readings()) {
+    std::fprintf(f, "%lld,%s,%d\n", static_cast<long long>(r.time),
+                 r.tag.ToString().c_str(), r.reader);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace rfid

@@ -1,0 +1,186 @@
+// Tests for the SMURF smoother and the SMURF* containment heuristic.
+#include <gtest/gtest.h>
+
+#include "baseline/smurf.h"
+#include "baseline/smurf_star.h"
+#include "common/rng.h"
+#include "inference/evaluate.h"
+#include "model/read_rate.h"
+#include "model/schedule.h"
+#include "sim/supply_chain.h"
+#include "trace/trace.h"
+
+namespace rfid {
+namespace {
+
+InterrogationSchedule AlwaysOn(int n) {
+  auto model = ReadRateModel::Uniform(n, 0.8);
+  auto s = InterrogationSchedule::AlwaysOn(n);
+  s.Finalize(model);
+  return s;
+}
+
+std::vector<TagRead> NoisyPresence(Epoch from, Epoch to, LocationId reader,
+                                   double p, Rng& rng) {
+  std::vector<TagRead> reads;
+  for (Epoch t = from; t <= to; ++t) {
+    if (rng.NextBernoulli(p)) reads.push_back(TagRead{t, reader});
+  }
+  return reads;
+}
+
+TEST(SmurfTest, FillsDropoutsWithinWindow) {
+  auto sched = AlwaysOn(2);
+  Rng rng(3);
+  auto reads = NoisyPresence(0, 199, 1, 0.6, rng);
+  SmoothedTrack track = SmurfSmooth(reads, sched, 0, 199);
+  // After warm-up, dropout epochs should be smoothed over: count absents in
+  // the steady-state region.
+  int absents = 0;
+  for (Epoch t = 20; t < 200; ++t) {
+    if (track.At(t) == kNoLocation) ++absents;
+  }
+  EXPECT_LT(absents, 6);
+  // Raw dropouts were ~40%; smoothing must fill most of them.
+}
+
+TEST(SmurfTest, AbsentBeforeFirstRead) {
+  auto sched = AlwaysOn(2);
+  std::vector<TagRead> reads{{50, 1}, {51, 1}};
+  SmoothedTrack track = SmurfSmooth(reads, sched, 0, 100);
+  EXPECT_EQ(track.At(10), kNoLocation);
+  EXPECT_EQ(track.At(50), 1);
+}
+
+TEST(SmurfTest, PluralityLocationWins) {
+  auto sched = AlwaysOn(3);
+  std::vector<TagRead> reads;
+  for (Epoch t = 0; t < 30; ++t) {
+    reads.push_back(TagRead{t, 2});
+    if (t % 3 == 0) reads.push_back(TagRead{t, 1});  // minority overlap
+  }
+  std::sort(reads.begin(), reads.end());
+  SmoothedTrack track = SmurfSmooth(reads, sched, 0, 29);
+  int loc2 = 0;
+  for (Epoch t = 5; t < 30; ++t) {
+    if (track.At(t) == 2) ++loc2;
+  }
+  EXPECT_GE(loc2, 23);
+}
+
+TEST(SmurfTest, WindowShrinksAfterDeparture) {
+  auto sched = AlwaysOn(2);
+  Rng rng(5);
+  auto reads = NoisyPresence(0, 99, 1, 0.8, rng);
+  SmoothedTrack track = SmurfSmooth(reads, sched, 0, 299);
+  // Long after departure at t=100 the tag must be reported absent; the
+  // adaptive window bounds the smoothing tail.
+  for (Epoch t = 260; t <= 299; ++t) {
+    EXPECT_EQ(track.At(t), kNoLocation) << t;
+  }
+}
+
+TEST(SmurfTest, EmptyHistory) {
+  auto sched = AlwaysOn(2);
+  SmoothedTrack track = SmurfSmooth({}, sched, 0, 50);
+  for (Epoch t = 0; t <= 50; ++t) EXPECT_EQ(track.At(t), kNoLocation);
+  EXPECT_EQ(track.At(-5), kNoLocation);
+  EXPECT_EQ(track.At(99), kNoLocation);
+}
+
+TEST(SmurfStarTest, InfersStableContainment) {
+  // Item and case co-located at location 0; decoy case at location 1.
+  auto model = ReadRateModel::Uniform(2, 0.8);
+  auto sched = InterrogationSchedule::AlwaysOn(2);
+  sched.Finalize(model);
+  Rng rng(7);
+  Trace trace;
+  for (Epoch t = 0; t < 200; ++t) {
+    if (rng.NextBernoulli(0.8)) trace.Add({t, TagId::Item(1), 0});
+    if (rng.NextBernoulli(0.8)) trace.Add({t, TagId::Case(1), 0});
+    if (rng.NextBernoulli(0.8)) trace.Add({t, TagId::Case(2), 1});
+  }
+  trace.Seal();
+  SmurfStar star(&sched);
+  ASSERT_TRUE(star.Run(trace, 0, 199).ok());
+  EXPECT_EQ(star.ContainerOf(TagId::Item(1)), TagId::Case(1));
+  EXPECT_TRUE(star.changes().empty());
+  EXPECT_EQ(star.LocationOf(TagId::Item(1), 150), 0);
+  EXPECT_EQ(star.LocationOf(TagId::Case(2), 150), 1);
+}
+
+TEST(SmurfStarTest, DetectsContainmentChange) {
+  auto model = ReadRateModel::Uniform(2, 0.9);
+  auto sched = InterrogationSchedule::AlwaysOn(2);
+  sched.Finalize(model);
+  Rng rng(11);
+  Trace trace;
+  // Item with case 1 at loc 0 until 150, then with case 2 at loc 1.
+  for (Epoch t = 0; t < 300; ++t) {
+    LocationId item_loc = t < 150 ? 0 : 1;
+    if (rng.NextBernoulli(0.9)) trace.Add({t, TagId::Item(1), item_loc});
+    if (rng.NextBernoulli(0.9)) trace.Add({t, TagId::Case(1), 0});
+    if (rng.NextBernoulli(0.9)) trace.Add({t, TagId::Case(2), 1});
+  }
+  trace.Seal();
+  SmurfStar star(&sched);
+  ASSERT_TRUE(star.Run(trace, 0, 299).ok());
+  EXPECT_EQ(star.ContainerOf(TagId::Item(1)), TagId::Case(2));
+  ASSERT_FALSE(star.changes().empty());
+  EXPECT_NEAR(static_cast<double>(star.changes()[0].time), 150.0, 60.0);
+}
+
+TEST(SmurfStarTest, UnknownTagsSafe) {
+  auto sched = AlwaysOn(2);
+  SmurfStar star(&sched);
+  Trace empty;
+  empty.Seal();
+  ASSERT_TRUE(star.Run(empty, 0, 10).ok());
+  EXPECT_EQ(star.ContainerOf(TagId::Item(5)), kNoTag);
+  EXPECT_EQ(star.LocationOf(TagId::Item(5), 3), kNoLocation);
+}
+
+TEST(SmurfStarTest, RejectsBadInput) {
+  auto sched = AlwaysOn(2);
+  SmurfStar star(&sched);
+  Trace unsealed;
+  unsealed.Add({0, TagId::Item(1), 0});
+  EXPECT_TRUE(star.Run(unsealed, 0, 10).IsInvalidArgument());
+  Trace sealed;
+  sealed.Seal();
+  EXPECT_TRUE(star.Run(sealed, 10, 5).IsInvalidArgument());
+}
+
+TEST(SmurfStarTest, WorseThanRfinferOnSupplyChain) {
+  // The paper's headline comparison: RFINFER's containment error is well
+  // below SMURF*'s on the same trace (Figure 5(d)).
+  SupplyChainConfig cfg;
+  cfg.num_warehouses = 1;
+  cfg.shelves_per_warehouse = 4;
+  cfg.cases_per_pallet = 3;
+  cfg.items_per_case = 8;
+  cfg.shelf_stay = 400;
+  cfg.horizon = 700;
+  cfg.read_rate.main = 0.7;
+  cfg.seed = 13;
+  SupplyChainSim sim(cfg);
+  sim.Run();
+  const Trace& trace = sim.site_trace(0);
+
+  SmurfStar star(&sim.schedule());
+  ASSERT_TRUE(star.Run(trace, 0, cfg.horizon).ok());
+  RFInfer engine(&sim.model(), &sim.schedule());
+  ASSERT_TRUE(engine.Run(trace, 0, cfg.horizon).ok());
+
+  ErrorRate star_err, rfinfer_err;
+  for (TagId item : sim.all_items()) {
+    if (!sim.truth().PresentAt(item, cfg.horizon - 1)) continue;
+    TagId truth = sim.truth().ContainerAt(item, cfg.horizon - 1);
+    star_err.Add(star.ContainerOf(item) == truth);
+    rfinfer_err.Add(engine.ContainerOf(item) == truth);
+  }
+  EXPECT_LE(rfinfer_err.Percent(), star_err.Percent());
+}
+
+}  // namespace
+}  // namespace rfid

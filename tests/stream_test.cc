@@ -1,0 +1,252 @@
+// Tests for the stream processor: values, operators, the latest-partition
+// join, and SEQ(A+) pattern matching with serializable state.
+#include <gtest/gtest.h>
+
+// GCC 12 emits a spurious maybe-uninitialized for std::variant-of-string
+// copies under -O2 (PR105593); the pattern below is exercised heavily here.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+#include "stream/operator.h"
+#include "stream/operators.h"
+#include "stream/pattern.h"
+#include "stream/tuple.h"
+#include "stream/value.h"
+
+namespace rfid {
+namespace {
+
+Tuple MakeTuple(Epoch t, std::vector<Value> vs) {
+  Tuple tp;
+  tp.time = t;
+  tp.values = std::move(vs);
+  return tp;
+}
+
+TEST(ValueTest, ToStringCoversAllTypes) {
+  EXPECT_EQ(ToString(Value{std::monostate{}}), "null");
+  EXPECT_EQ(ToString(Value{int64_t{42}}), "42");
+  EXPECT_EQ(ToString(Value{std::string("x")}), "x");
+  EXPECT_EQ(ToString(Value{TagId::Item(3)}), "item:3");
+  EXPECT_EQ(ToString(Value{true}), "true");
+  EXPECT_TRUE(IsNull(Value{std::monostate{}}));
+  EXPECT_FALSE(IsNull(Value{int64_t{0}}));
+}
+
+TEST(ValueTest, EncodeDecodeRoundTrip) {
+  std::vector<Value> values{std::monostate{}, int64_t{-7}, 3.25,
+                            std::string("abc"), TagId::Case(9), true};
+  BufferWriter w;
+  for (const Value& v : values) EncodeValue(v, &w);
+  auto bytes = w.Release();
+  BufferReader r(bytes);
+  for (const Value& expected : values) {
+    Value v;
+    ASSERT_TRUE(DecodeValue(&r, &v).ok());
+    EXPECT_TRUE(ValueEquals(v, expected)) << ToString(v);
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ValueTest, DecodeRejectsUnknownTag) {
+  std::vector<uint8_t> bytes{0xee};
+  BufferReader r(bytes);
+  Value v;
+  EXPECT_TRUE(DecodeValue(&r, &v).IsCorruption());
+}
+
+TEST(OperatorTest, FilterForwardsMatching) {
+  FilterOp filter([](const Tuple& t) {
+    return std::get<int64_t>(t.at(0)) % 2 == 0;
+  });
+  CollectSink sink;
+  filter.SetDownstream(&sink);
+  for (int64_t i = 0; i < 6; ++i) {
+    filter.Push(MakeTuple(i, {Value{i}}));
+  }
+  ASSERT_EQ(sink.results().size(), 3u);
+  EXPECT_EQ(std::get<int64_t>(sink.results()[1].at(0)), 2);
+}
+
+TEST(OperatorTest, MapTransforms) {
+  MapOp map([](const Tuple& t) {
+    Tuple out = t;
+    out.values.push_back(Value{std::get<int64_t>(t.at(0)) * 10});
+    return out;
+  });
+  CollectSink sink;
+  map.SetDownstream(&sink);
+  map.Push(MakeTuple(1, {Value{int64_t{4}}}));
+  ASSERT_EQ(sink.results().size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(sink.results()[0].at(1)), 40);
+}
+
+TEST(SchemaTest, IndexLookup) {
+  Schema s({"tag", "loc", "container"});
+  EXPECT_EQ(s.IndexOf("loc"), 1);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(JoinLatestTest, ProbesAgainstLatestPartitionValue) {
+  JoinLatestOp join(/*left_key=*/0, /*right_key=*/0);
+  CollectSink sink;
+  join.SetDownstream(&sink);
+
+  // No right state yet: left probe yields nothing.
+  join.Push(MakeTuple(1, {Value{int64_t{7}}, Value{std::string("L1")}}));
+  EXPECT_TRUE(sink.results().empty());
+
+  join.right_port()->Push(MakeTuple(2, {Value{int64_t{7}}, Value{10.0}}));
+  join.Push(MakeTuple(3, {Value{int64_t{7}}, Value{std::string("L2")}}));
+  ASSERT_EQ(sink.results().size(), 1u);
+  EXPECT_EQ(std::get<double>(sink.results()[0].at(3)), 10.0);
+
+  // Rows-1 semantics: a newer right tuple replaces the old one.
+  join.right_port()->Push(MakeTuple(4, {Value{int64_t{7}}, Value{-5.0}}));
+  join.Push(MakeTuple(5, {Value{int64_t{7}}, Value{std::string("L3")}}));
+  ASSERT_EQ(sink.results().size(), 2u);
+  EXPECT_EQ(std::get<double>(sink.results()[1].at(3)), -5.0);
+  EXPECT_EQ(join.partitions(), 1u);
+}
+
+TEST(JoinLatestTest, PartitionsAreIndependent) {
+  JoinLatestOp join(0, 0);
+  CollectSink sink;
+  join.SetDownstream(&sink);
+  join.right_port()->Push(MakeTuple(1, {Value{int64_t{1}}, Value{1.0}}));
+  join.right_port()->Push(MakeTuple(1, {Value{int64_t{2}}, Value{2.0}}));
+  join.Push(MakeTuple(2, {Value{int64_t{2}}}));
+  ASSERT_EQ(sink.results().size(), 1u);
+  EXPECT_EQ(std::get<double>(sink.results()[0].at(2)), 2.0);
+}
+
+PatternOptions ShortPattern() {
+  PatternOptions opts;
+  opts.partition_col = 0;
+  opts.value_col = 1;
+  opts.min_duration = 100;
+  opts.max_gap = 30;
+  return opts;
+}
+
+TEST(PatternTest, FiresAfterDuration) {
+  PatternSeqOp pattern(ShortPattern());
+  CollectSink sink;
+  pattern.SetDownstream(&sink);
+  TagId tag = TagId::Item(1);
+  for (Epoch t = 0; t <= 120; t += 10) {
+    pattern.Push(MakeTuple(t, {Value{tag}, Value{20.0}}));
+  }
+  ASSERT_EQ(sink.results().size(), 1u);
+  EXPECT_EQ(std::get<TagId>(sink.results()[0].at(0)), tag);
+  EXPECT_EQ(std::get<int64_t>(sink.results()[0].at(1)), 0);    // first
+  EXPECT_EQ(std::get<int64_t>(sink.results()[0].at(2)), 110);  // last
+  EXPECT_EQ(pattern.alerts_emitted(), 1);
+}
+
+TEST(PatternTest, EmitsOncePerRun) {
+  PatternSeqOp pattern(ShortPattern());
+  CollectSink sink;
+  pattern.SetDownstream(&sink);
+  TagId tag = TagId::Item(1);
+  for (Epoch t = 0; t <= 300; t += 10) {
+    pattern.Push(MakeTuple(t, {Value{tag}, Value{20.0}}));
+  }
+  EXPECT_EQ(sink.results().size(), 1u);
+}
+
+TEST(PatternTest, GapLapsesRun) {
+  PatternSeqOp pattern(ShortPattern());
+  CollectSink sink;
+  pattern.SetDownstream(&sink);
+  TagId tag = TagId::Item(1);
+  // Two 60-epoch runs separated by a 100-epoch gap: neither reaches the
+  // 100-epoch duration, so no alert fires.
+  for (Epoch t = 0; t <= 60; t += 10) {
+    pattern.Push(MakeTuple(t, {Value{tag}, Value{20.0}}));
+  }
+  for (Epoch t = 160; t <= 220; t += 10) {
+    pattern.Push(MakeTuple(t, {Value{tag}, Value{20.0}}));
+  }
+  EXPECT_TRUE(sink.results().empty());
+  // The lapsed run restarted: state shows the second run's origin.
+  EXPECT_EQ(pattern.StateOf(tag).first_time, 160);
+}
+
+TEST(PatternTest, PartitionsIndependent) {
+  PatternSeqOp pattern(ShortPattern());
+  CollectSink sink;
+  pattern.SetDownstream(&sink);
+  for (Epoch t = 0; t <= 120; t += 10) {
+    pattern.Push(MakeTuple(t, {Value{TagId::Item(1)}, Value{20.0}}));
+    if (t <= 50) {
+      pattern.Push(MakeTuple(t, {Value{TagId::Item(2)}, Value{20.0}}));
+    }
+  }
+  ASSERT_EQ(sink.results().size(), 1u);
+  EXPECT_EQ(std::get<TagId>(sink.results()[0].at(0)), TagId::Item(1));
+  EXPECT_EQ(pattern.Partitions().size(), 2u);
+}
+
+TEST(PatternTest, ValueLogAccumulates) {
+  PatternSeqOp pattern(ShortPattern());
+  TagId tag = TagId::Item(1);
+  pattern.Push(MakeTuple(0, {Value{tag}, Value{20.0}}));
+  pattern.Push(MakeTuple(10, {Value{tag}, Value{21.0}}));
+  PatternState s = pattern.StateOf(tag);
+  EXPECT_EQ(s.phase, RunPhase::kAccumulating);
+  ASSERT_EQ(s.value_log.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.value_log[1].second, 21.0);
+}
+
+TEST(PatternTest, StateEncodeDecodeRoundTrip) {
+  PatternState s;
+  s.phase = RunPhase::kAccumulating;
+  s.first_time = 100;
+  s.last_time = 250;
+  s.value_log = {{100, 20.5}, {150, 21.0}, {250, 19.0}};
+  auto bytes = s.Encode();
+  auto back = PatternState::Decode(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, s);
+}
+
+TEST(PatternTest, StateMigrationResumesRun) {
+  // Start a run on "site A", migrate the state, finish it on "site B".
+  PatternSeqOp site_a(ShortPattern());
+  TagId tag = TagId::Item(1);
+  for (Epoch t = 0; t <= 60; t += 10) {
+    site_a.Push(MakeTuple(t, {Value{tag}, Value{20.0}}));
+  }
+  auto bytes = site_a.TakeState(tag).Encode();
+  EXPECT_EQ(site_a.Partitions().size(), 0u);
+
+  PatternSeqOp site_b(ShortPattern());
+  CollectSink sink;
+  site_b.SetDownstream(&sink);
+  auto state = PatternState::Decode(bytes);
+  ASSERT_TRUE(state.ok());
+  site_b.SetState(tag, *state);
+  for (Epoch t = 70; t <= 120; t += 10) {
+    site_b.Push(MakeTuple(t, {Value{tag}, Value{20.0}}));
+  }
+  ASSERT_EQ(sink.results().size(), 1u);
+  // The run is credited from its origin on site A.
+  EXPECT_EQ(std::get<int64_t>(sink.results()[0].at(1)), 0);
+}
+
+TEST(PatternTest, DecodeRejectsGarbage) {
+  std::vector<uint8_t> garbage{0x7f, 0x01};
+  EXPECT_FALSE(PatternState::Decode(garbage).ok());
+}
+
+TEST(PatternTest, NonTagPartitionIgnored) {
+  PatternSeqOp pattern(ShortPattern());
+  CollectSink sink;
+  pattern.SetDownstream(&sink);
+  pattern.Push(MakeTuple(0, {Value{int64_t{5}}, Value{1.0}}));
+  EXPECT_TRUE(pattern.Partitions().empty());
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,152 @@
+// Tests for the streaming inference driver: periodic runs, truncation
+// policies, change handling across runs, buffer compaction, and the state
+// migration hooks.
+#include <gtest/gtest.h>
+
+#include "inference/evaluate.h"
+#include "inference/streaming.h"
+#include "sim/supply_chain.h"
+
+namespace rfid {
+namespace {
+
+SupplyChainConfig SmallConfig(Epoch horizon = 900, Epoch anomaly = 0) {
+  SupplyChainConfig cfg;
+  cfg.num_warehouses = 1;
+  cfg.shelves_per_warehouse = 4;
+  cfg.cases_per_pallet = 2;
+  cfg.items_per_case = 8;
+  cfg.shelf_stay = 500;
+  cfg.horizon = horizon;
+  cfg.anomaly_interval = anomaly;
+  cfg.seed = 11;
+  return cfg;
+}
+
+StreamingOptions FastOptions(TruncationMethod method) {
+  StreamingOptions opts;
+  opts.inference_period = 300;
+  opts.truncation = method;
+  opts.recent_history = 400;
+  opts.window_size = 600;
+  return opts;
+}
+
+TEST(StreamingTest, RunsOncePerPeriod) {
+  SupplyChainSim sim(SmallConfig());
+  sim.Run();
+  StreamingInference si(&sim.model(), &sim.schedule(),
+                        FastOptions(TruncationMethod::kAll));
+  for (const RawReading& r : sim.site_trace(0).readings()) si.Observe(r);
+  int ran = si.AdvanceTo(900);
+  EXPECT_EQ(ran, 3);  // t=300, 600, 900
+  EXPECT_EQ(si.runs(), 3);
+  EXPECT_GT(si.total_inference_seconds(), 0.0);
+}
+
+TEST(StreamingTest, AccurateWithAllMethods) {
+  SupplyChainSim sim(SmallConfig());
+  sim.Run();
+  for (TruncationMethod m :
+       {TruncationMethod::kAll, TruncationMethod::kWindow,
+        TruncationMethod::kCriticalRegion}) {
+    StreamingInference si(&sim.model(), &sim.schedule(), FastOptions(m));
+    for (const RawReading& r : sim.site_trace(0).readings()) si.Observe(r);
+    si.AdvanceTo(900);
+    double err = ContainmentErrorPercentOf(
+        [&](TagId o) { return si.ContainerOf(o); }, sim.truth(),
+        sim.all_items(), 899);
+    EXPECT_LT(err, 25.0) << "method " << static_cast<int>(m);
+  }
+}
+
+TEST(StreamingTest, CompactionBoundsBuffer) {
+  SupplyChainSim sim(SmallConfig(1500));
+  sim.Run();
+  StreamingInference all(&sim.model(), &sim.schedule(),
+                         FastOptions(TruncationMethod::kAll));
+  StreamingInference cr(&sim.model(), &sim.schedule(),
+                        FastOptions(TruncationMethod::kCriticalRegion));
+  for (const RawReading& r : sim.site_trace(0).readings()) {
+    all.Observe(r);
+    cr.Observe(r);
+  }
+  all.AdvanceTo(1500);
+  cr.AdvanceTo(1500);
+  EXPECT_LT(cr.buffered_readings(), all.buffered_readings());
+}
+
+TEST(StreamingTest, DetectsInjectedAnomalies) {
+  SupplyChainSim sim(SmallConfig(1200, /*anomaly=*/200));
+  sim.Run();
+  ASSERT_FALSE(sim.anomalies().empty());
+
+  StreamingOptions opts = FastOptions(TruncationMethod::kCriticalRegion);
+  opts.detect_changes = true;
+  opts.change_threshold = 30.0;
+  StreamingInference si(&sim.model(), &sim.schedule(), opts);
+  for (const RawReading& r : sim.site_trace(0).readings()) si.Observe(r);
+  si.AdvanceTo(1200);
+
+  std::vector<TrueChange> truth;
+  for (const AnomalyRecord& a : sim.anomalies()) {
+    truth.push_back(TrueChange{a.time, a.item, a.to_case});
+  }
+  FMeasure fm = ScoreChangeDetection(si.all_changes(), truth, 400);
+  EXPECT_GT(fm.Percent(), 40.0)
+      << "P=" << fm.Precision() << " R=" << fm.Recall();
+}
+
+TEST(StreamingTest, ExportImportContextRoundTrip) {
+  SupplyChainSim sim(SmallConfig());
+  sim.Run();
+  StreamingInference si(&sim.model(), &sim.schedule(),
+                        FastOptions(TruncationMethod::kCriticalRegion));
+  for (const RawReading& r : sim.site_trace(0).readings()) si.Observe(r);
+  si.AdvanceTo(900);
+
+  TagId item = sim.all_items().front();
+  ObjectContext ctx = si.ExportObjectContext(item);
+  EXPECT_FALSE(ctx.prior_weights.empty());
+
+  // Import into a fresh driver; the prior steers the initial belief.
+  StreamingInference fresh(&sim.model(), &sim.schedule(),
+                           FastOptions(TruncationMethod::kCriticalRegion));
+  fresh.ImportObjectContext(item, ctx);
+  ObjectContext merged = fresh.ExportObjectContext(item);
+  EXPECT_EQ(merged.prior_weights.size(), ctx.prior_weights.size());
+}
+
+TEST(StreamingTest, ImportMergesWeightsAdditively) {
+  auto model = ReadRateModel::Uniform(2, 0.8);
+  auto sched = InterrogationSchedule::AlwaysOn(2);
+  sched.Finalize(model);
+  StreamingInference si(&model, &sched, {});
+  ObjectContext a, b;
+  a.prior_weights = {{TagId::Case(1), -10.0}};
+  b.prior_weights = {{TagId::Case(1), -5.0}, {TagId::Case(2), -3.0}};
+  si.ImportObjectContext(TagId::Item(1), a);
+  si.ImportObjectContext(TagId::Item(1), b);
+  ObjectContext merged = si.ExportObjectContext(TagId::Item(1));
+  ASSERT_EQ(merged.prior_weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged.prior_weights[0].second, -15.0);
+}
+
+TEST(StreamingTest, ExportReadingsCoversCriticalRegionAndRecent) {
+  SupplyChainSim sim(SmallConfig());
+  sim.Run();
+  StreamingInference si(&sim.model(), &sim.schedule(),
+                        FastOptions(TruncationMethod::kCriticalRegion));
+  for (const RawReading& r : sim.site_trace(0).readings()) si.Observe(r);
+  si.AdvanceTo(900);
+  TagId item = sim.all_items().front();
+  TagId case_tag = sim.truth().ContainerAt(item, 600);
+  auto readings = si.ExportReadings({item, case_tag}, item);
+  EXPECT_FALSE(readings.empty());
+  for (const RawReading& r : readings) {
+    EXPECT_TRUE(r.tag == item || r.tag == case_tag);
+  }
+}
+
+}  // namespace
+}  // namespace rfid
