@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI entry point: the ROADMAP tier-1 verify, then an ASan/UBSan Debug pass
+# over the unit/integration suite.
+#
+# Usage: ci/build_and_test.sh [--skip-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+SKIP_SANITIZE=0
+[[ "${1:-}" == "--skip-sanitize" ]] && SKIP_SANITIZE=1
+
+echo "==> Tier-1: Release build + full ctest (tests, bench smoke)"
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+if [[ "${SKIP_SANITIZE}" == "1" ]]; then
+  echo "==> Skipping sanitizer pass (--skip-sanitize)"
+  exit 0
+fi
+
+echo "==> Debug + ASan/UBSan: unit and integration tests"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DRFID_SANITIZE=ON
+cmake --build build-asan -j "${JOBS}"
+# Bench smoke targets are excluded here: sanitized EM over bench-scale
+# workloads multiplies runtime without adding memory-safety coverage beyond
+# what the test suite already drives.
+(cd build-asan && ctest --output-on-failure -j "${JOBS}" -LE bench_smoke)
+
+echo "==> CI green"

@@ -21,7 +21,7 @@ int main() {
   config.shelf_stay = 300;
   config.transit_time = 60;
   config.horizon = 1800;
-  config.read_rate.main = 0.75;
+  config.read_rate.main = 0.6;
   config.seed = 33;
   SupplyChainSim sim(config);
   sim.Run();

@@ -1,0 +1,265 @@
+#include "dist/distributed.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/metrics.h"
+
+namespace rfid {
+
+std::string ToString(ProcessingMode mode) {
+  switch (mode) {
+    case ProcessingMode::kDistributed:
+      return "distributed";
+    case ProcessingMode::kCentralized:
+      return "centralized";
+  }
+  return "unknown";
+}
+
+DistributedSystem::DistributedSystem(
+    const SupplyChainSim* sim, DistributedOptions options,
+    const ProductCatalog* catalog,
+    const std::vector<SensorReading>* sensors)
+    : sim_(sim),
+      options_(std::move(options)),
+      catalog_(catalog),
+      sensors_(sensors) {
+  const int num_processors =
+      centralized() ? 1 : sim_->config().num_warehouses;
+  sites_.reserve(static_cast<size_t>(num_processors));
+  for (SiteId s = 0; s < num_processors; ++s) {
+    sites_.push_back(std::make_unique<Site>(
+        s, &sim_->model(), &sim_->schedule(), &network_, options_.site));
+    Site* site = sites_.back().get();
+    network_.RegisterHandler(
+        s, [site](SiteId from, MessageKind kind,
+                  const std::vector<uint8_t>& payload) {
+          site->HandleMessage(from, kind, payload);
+        });
+  }
+  if (options_.attach_queries && catalog_ != nullptr) {
+    for (auto& site : sites_) {
+      site->AttachQueries(catalog_, options_.q1, options_.q2);
+    }
+    if (sensors_ != nullptr) {
+      for (const SensorReading& r : *sensors_) {
+        if (centralized()) {
+          sites_[0]->AddSensor(r);
+        } else {
+          const SiteId s = sim_->layout().SiteOfLocation(r.loc);
+          if (s >= 0 && s < static_cast<SiteId>(sites_.size())) {
+            sites_[static_cast<size_t>(s)]->AddSensor(r);
+          }
+        }
+      }
+    }
+  }
+}
+
+DistributedSystem::~DistributedSystem() = default;
+
+void DistributedSystem::Run() {
+  if (ran_) return;
+  ran_ = true;
+
+  const Epoch horizon = sim_->config().horizon;
+  const Epoch period = options_.site.streaming.inference_period;
+  const GroundTruth& truth = sim_->truth();
+  const int num_warehouses = sim_->config().num_warehouses;
+
+  // Objects enter the directory when they enter the world (all pallets are
+  // injected at the source warehouse, site 0).
+  std::vector<std::pair<Epoch, TagId>> injections;
+  auto add_tags = [&](const std::vector<TagId>& tags) {
+    for (TagId tag : tags) {
+      const auto& ivs = truth.IntervalsOf(tag);
+      if (!ivs.empty()) injections.emplace_back(ivs.front().begin, tag);
+    }
+  };
+  add_tags(sim_->all_pallets());
+  add_tags(sim_->all_cases());
+  add_tags(sim_->all_items());
+  std::stable_sort(injections.begin(), injections.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+
+  // Transfers indexed by arrival and by departure epoch.
+  const std::vector<ObjectTransfer>& transfers = sim_->transfers();
+  std::vector<size_t> by_arrive(transfers.size());
+  std::vector<size_t> by_depart(transfers.size());
+  std::iota(by_arrive.begin(), by_arrive.end(), size_t{0});
+  std::iota(by_depart.begin(), by_depart.end(), size_t{0});
+  std::stable_sort(by_arrive.begin(), by_arrive.end(),
+                   [&](size_t a, size_t b) {
+                     return transfers[a].arrive < transfers[b].arrive;
+                   });
+  std::stable_sort(by_depart.begin(), by_depart.end(),
+                   [&](size_t a, size_t b) {
+                     return transfers[a].depart < transfers[b].depart;
+                   });
+
+  std::vector<size_t> cursor(static_cast<size_t>(num_warehouses), 0);
+  std::vector<std::vector<RawReading>> batch(
+      static_cast<size_t>(num_warehouses));
+  Epoch next_flush = period;
+
+  size_t inj = 0;
+  size_t arr = 0;
+  size_t dep = 0;
+  for (Epoch t = 0; t <= horizon; ++t) {
+    while (inj < injections.size() && injections[inj].first <= t) {
+      owner_[injections[inj].second] = 0;
+      ons_.Register(injections[inj].second, 0);
+      ++inj;
+    }
+
+    while (arr < by_arrive.size() &&
+           transfers[by_arrive[arr]].arrive <= t) {
+      const ObjectTransfer& tr = transfers[by_arrive[arr]];
+      ++arr;
+      if (tr.to == kNoSite) continue;
+      auto reassign = [&](TagId tag) {
+        owner_[tag] = tr.to;
+        ons_.Register(tag, tr.to);
+      };
+      reassign(tr.pallet);
+      for (TagId c : tr.cases) reassign(c);
+      for (TagId o : tr.items) reassign(o);
+    }
+
+    for (auto& site : sites_) site->DeliverArrivals(t);
+
+    for (SiteId s = 0; s < num_warehouses; ++s) {
+      const std::vector<RawReading>& rs = sim_->site_trace(s).readings();
+      size_t& c = cursor[static_cast<size_t>(s)];
+      while (c < rs.size() && rs[c].time == t) {
+        if (!centralized()) {
+          sites_[static_cast<size_t>(s)]->Observe(rs[c]);
+        } else if (s == 0) {
+          // Site 0 hosts the central server; its readings stay local.
+          sites_[0]->Observe(rs[c]);
+        } else {
+          batch[static_cast<size_t>(s)].push_back(rs[c]);
+        }
+        ++c;
+      }
+    }
+
+    if (centralized() && (t == next_flush || t == horizon)) {
+      if (t == next_flush) next_flush += period;
+      for (SiteId s = 1; s < num_warehouses; ++s) {
+        std::vector<RawReading>& b = batch[static_cast<size_t>(s)];
+        if (b.empty()) continue;
+        network_.Send(s, 0, MessageKind::kRawReadings,
+                      EncodeReadingBatch(b, options_.site.compress_level));
+        b.clear();
+      }
+    }
+
+    bool any_ran = false;
+    for (auto& site : sites_) {
+      any_ran = site->AdvanceTo(t) > 0 || any_ran;
+    }
+
+    while (dep < by_depart.size() &&
+           transfers[by_depart[dep]].depart <= t) {
+      const ObjectTransfer& tr = transfers[by_depart[dep]];
+      ++dep;
+      if (centralized()) {
+        if (tr.to == kNoSite) sites_[0]->Retire(tr);
+      } else {
+        // Locate the exporting site through the directory, the way a real
+        // deployment resolves an object's current owner.
+        SiteId from = ons_.Lookup(tr.pallet);
+        if (from == kNoSite) from = tr.from;
+        if (from >= 0 && from < static_cast<SiteId>(sites_.size())) {
+          sites_[static_cast<size_t>(from)]->ExportTransfer(tr);
+        }
+      }
+      if (tr.to == kNoSite) {
+        auto drop = [&](TagId tag) {
+          owner_.erase(tag);
+          ons_.Unregister(tag);
+        };
+        drop(tr.pallet);
+        for (TagId c : tr.cases) drop(c);
+        for (TagId o : tr.items) drop(o);
+      }
+    }
+
+    if (any_ran) RecordSnapshot(t);
+  }
+}
+
+Site* DistributedSystem::OwnerSite(TagId object) const {
+  if (centralized()) return sites_[0].get();
+  auto it = owner_.find(object);
+  if (it == owner_.end() || it->second < 0 ||
+      it->second >= static_cast<SiteId>(sites_.size())) {
+    return nullptr;
+  }
+  return sites_[static_cast<size_t>(it->second)].get();
+}
+
+TagId DistributedSystem::BelievedContainer(TagId object) const {
+  Site* site = OwnerSite(object);
+  return site == nullptr ? kNoTag : site->BelievedContainer(object);
+}
+
+void DistributedSystem::RecordSnapshot(Epoch t) {
+  const GroundTruth& truth = sim_->truth();
+  ErrorRate err;
+  for (TagId item : sim_->all_items()) {
+    if (!truth.PresentAt(item, t)) continue;
+    err.Add(BelievedContainer(item) == truth.ContainerAt(item, t));
+  }
+  snapshots_.push_back(ErrorSnapshot{t, err.Percent()});
+}
+
+double DistributedSystem::ContainmentErrorPercent(Epoch at) const {
+  if (snapshots_.empty()) return 0.0;
+  const ErrorSnapshot* best = &snapshots_.front();
+  for (const ErrorSnapshot& s : snapshots_) {
+    if (std::abs(s.epoch - at) < std::abs(best->epoch - at)) best = &s;
+  }
+  return best->error_percent;
+}
+
+double DistributedSystem::AverageContainmentErrorPercent(Epoch warmup) const {
+  OnlineStats stats;
+  for (const ErrorSnapshot& s : snapshots_) {
+    if (s.epoch >= warmup) stats.Add(s.error_percent);
+  }
+  return stats.count() == 0 ? 0.0 : stats.Mean();
+}
+
+std::vector<ExposureAlert> DistributedSystem::AllAlerts(
+    int query_index) const {
+  std::vector<ExposureAlert> merged;
+  for (const auto& site : sites_) {
+    const ExposureQuery* q = site->query(query_index);
+    if (q == nullptr) continue;
+    merged.insert(merged.end(), q->alerts().begin(), q->alerts().end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const ExposureAlert& a, const ExposureAlert& b) {
+                     if (a.last_time != b.last_time) {
+                       return a.last_time < b.last_time;
+                     }
+                     return a.tag < b.tag;
+                   });
+  return merged;
+}
+
+double DistributedSystem::TotalInferenceSeconds() const {
+  double total = 0.0;
+  for (const auto& site : sites_) {
+    total += site->streaming().total_inference_seconds();
+  }
+  return total;
+}
+
+}  // namespace rfid

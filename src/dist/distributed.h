@@ -1,0 +1,129 @@
+// The distributed-processing driver (Section 5.2, Figure 3): replays a
+// completed SupplyChainSim epoch by epoch against a set of per-site
+// processors connected by the byte-accounted Network and coordinated by the
+// ONS, or against a single centralized server that every remote site ships
+// its raw readings to.
+//
+//   kDistributed -- one Site per warehouse consumes its own trace; when a
+//                   pallet group crosses sites, the departing site
+//                   serializes inference/query state (per MigrationMode)
+//                   and the destination installs it on arrival; the ONS is
+//                   kept current so any object can be located.
+//   kCentralized -- the Table 5 baseline: remote sites batch their raw
+//                   readings per inference period, delta-encode and gzip
+//                   them, and ship them to site 0, which runs one global
+//                   inference engine (and the queries, when attached).
+//
+// Accuracy is surfaced the way the paper plots it: containment error
+// against trace/ground_truth sampled at every inference boundary
+// (Figures 5(e)/5(f)), plus the merged per-site query alerts
+// (Section 5.4).
+#ifndef RFID_DIST_DISTRIBUTED_H_
+#define RFID_DIST_DISTRIBUTED_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/network.h"
+#include "dist/ons.h"
+#include "dist/site.h"
+#include "query/queries.h"
+#include "sim/supply_chain.h"
+#include "trace/product_catalog.h"
+
+namespace rfid {
+
+enum class ProcessingMode : uint8_t {
+  kDistributed = 0,
+  kCentralized = 1,
+};
+
+std::string ToString(ProcessingMode mode);
+
+struct DistributedOptions {
+  ProcessingMode mode = ProcessingMode::kDistributed;
+  SiteOptions site;
+  /// Instantiate Q1/Q2 at every site (requires a catalog and sensor stream
+  /// at construction).
+  bool attach_queries = false;
+  ExposureQueryConfig q1 = ExposureQuery::Q1Config();
+  ExposureQueryConfig q2 = ExposureQuery::Q2Config();
+};
+
+/// Drives a finished simulation through the distributed (or centralized)
+/// pipeline. The sim must outlive the system and have been Run() without an
+/// external sink (per-site traces materialized).
+class DistributedSystem {
+ public:
+  /// `catalog` and `sensors` are only consulted when
+  /// `options.attach_queries` is set; both must outlive the system.
+  /// `sensors` must be time-ordered (as GenerateSensorStream produces).
+  DistributedSystem(const SupplyChainSim* sim, DistributedOptions options,
+                    const ProductCatalog* catalog = nullptr,
+                    const std::vector<SensorReading>* sensors = nullptr);
+  ~DistributedSystem();
+
+  DistributedSystem(const DistributedSystem&) = delete;
+  DistributedSystem& operator=(const DistributedSystem&) = delete;
+
+  /// Replays the whole horizon. Calling Run a second time is a no-op.
+  void Run();
+
+  const Network& network() const { return network_; }
+  const Ons& ons() const { return ons_; }
+  const DistributedOptions& options() const { return options_; }
+
+  /// Number of site processors (1 in centralized mode).
+  int num_processors() const { return static_cast<int>(sites_.size()); }
+  const Site& site(SiteId s) const { return *sites_[static_cast<size_t>(s)]; }
+
+  /// The owning processor's current belief about an object's container
+  /// (kNoTag for unknown or departed objects).
+  TagId BelievedContainer(TagId object) const;
+
+  /// Containment error (percent, vs ground truth over items present) at the
+  /// inference boundary nearest to `at`. Valid after Run.
+  double ContainmentErrorPercent(Epoch at) const;
+
+  /// Mean containment error over all inference boundaries at or after
+  /// `warmup` -- the continuous-monitoring view of Figures 5(e)/5(f).
+  double AverageContainmentErrorPercent(Epoch warmup = 0) const;
+
+  /// All alerts of query `query_index` (0 = Q1, 1 = Q2) merged across
+  /// sites, ordered by completion time. Empty when queries not attached.
+  std::vector<ExposureAlert> AllAlerts(int query_index) const;
+
+  /// Wall-clock seconds spent inside inference, summed over processors.
+  double TotalInferenceSeconds() const;
+
+ private:
+  bool centralized() const {
+    return options_.mode == ProcessingMode::kCentralized;
+  }
+  Site* OwnerSite(TagId object) const;
+  void RecordSnapshot(Epoch t);
+
+  struct ErrorSnapshot {
+    Epoch epoch = 0;
+    double error_percent = 0.0;
+  };
+
+  const SupplyChainSim* sim_;
+  DistributedOptions options_;
+  const ProductCatalog* catalog_;
+  const std::vector<SensorReading>* sensors_;
+
+  Network network_;
+  Ons ons_;
+  std::vector<std::unique_ptr<Site>> sites_;
+
+  /// Current owning processor per tag (tracks transfers as they arrive).
+  std::unordered_map<TagId, SiteId> owner_;
+  std::vector<ErrorSnapshot> snapshots_;
+  bool ran_ = false;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_DIST_DISTRIBUTED_H_

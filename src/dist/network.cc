@@ -1,0 +1,51 @@
+#include "dist/network.h"
+
+#include <string>
+
+namespace rfid {
+
+void Network::RegisterHandler(SiteId site, MessageHandler handler) {
+  handlers_[site] = std::move(handler);
+}
+
+size_t Network::Send(SiteId from, SiteId to, MessageKind kind,
+                     const std::vector<uint8_t>& payload) {
+  const int64_t n = static_cast<int64_t>(payload.size());
+  link_bytes_[LinkKey(from, to)] += n;
+  kind_bytes_[static_cast<size_t>(kind)] += n;
+  kind_messages_[static_cast<size_t>(kind)] += 1;
+  total_bytes_ += n;
+  total_messages_ += 1;
+  auto it = handlers_.find(to);
+  if (it != handlers_.end() && it->second) {
+    it->second(from, kind, payload);
+  }
+  return payload.size();
+}
+
+int64_t Network::BytesOnLink(SiteId from, SiteId to) const {
+  auto it = link_bytes_.find(LinkKey(from, to));
+  return it == link_bytes_.end() ? 0 : it->second;
+}
+
+void Network::ResetCounters() {
+  link_bytes_.clear();
+  for (int64_t& b : kind_bytes_) b = 0;
+  for (int64_t& m : kind_messages_) m = 0;
+  total_bytes_ = 0;
+  total_messages_ = 0;
+}
+
+std::string ToString(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kRawReadings:
+      return "raw_readings";
+    case MessageKind::kInferenceState:
+      return "inference_state";
+    case MessageKind::kQueryState:
+      return "query_state";
+  }
+  return "unknown";
+}
+
+}  // namespace rfid

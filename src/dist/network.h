@@ -1,0 +1,89 @@
+// In-process message fabric connecting site processors (Section 5.2's
+// emulated deployment): synchronous delivery to per-site handlers plus the
+// byte/message accounting behind Table 5 and Figures 5(e)/5(f).
+//
+// Every Send is charged -- per (from, to) link, per message kind, and in
+// total -- whether or not the destination registered a handler, because the
+// paper's communication-cost numbers count bytes put on the wire, not bytes
+// usefully consumed. The fabric itself is transport-only; payload encodings
+// live with the senders (dist/site.h).
+#ifndef RFID_DIST_NETWORK_H_
+#define RFID_DIST_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rfid {
+
+/// Message classes the distributed experiments account separately: raw
+/// readings (the centralized baseline), collapsed/full inference state
+/// (Section 4.1), and per-object query state (Section 4.2).
+enum class MessageKind : uint8_t {
+  kRawReadings = 0,
+  kInferenceState = 1,
+  kQueryState = 2,
+};
+
+inline constexpr int kNumMessageKinds = 3;
+
+/// Delivery callback: (sender, kind, payload).
+using MessageHandler =
+    std::function<void(SiteId from, MessageKind kind,
+                       const std::vector<uint8_t>& payload)>;
+
+/// The in-process network. Single-threaded: Send delivers synchronously to
+/// the destination's handler before returning.
+class Network {
+ public:
+  Network() = default;
+
+  /// Installs the handler for messages addressed to `site`, replacing any
+  /// existing one.
+  void RegisterHandler(SiteId site, MessageHandler handler);
+
+  /// Transmits `payload` from `from` to `to`. The payload is charged to the
+  /// (from, to) link and the kind counter even when `to` has no handler.
+  /// Returns the number of bytes charged (the payload size).
+  size_t Send(SiteId from, SiteId to, MessageKind kind,
+              const std::vector<uint8_t>& payload);
+
+  int64_t total_bytes() const { return total_bytes_; }
+  int64_t total_messages() const { return total_messages_; }
+
+  /// Bytes sent over the directed link from -> to.
+  int64_t BytesOnLink(SiteId from, SiteId to) const;
+
+  /// Bytes sent with the given message kind.
+  int64_t BytesOfKind(MessageKind kind) const {
+    return kind_bytes_[static_cast<size_t>(kind)];
+  }
+  int64_t MessagesOfKind(MessageKind kind) const {
+    return kind_messages_[static_cast<size_t>(kind)];
+  }
+
+  /// Zeroes every counter; handlers stay registered.
+  void ResetCounters();
+
+ private:
+  static uint64_t LinkKey(SiteId from, SiteId to) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+           static_cast<uint32_t>(to);
+  }
+
+  std::unordered_map<SiteId, MessageHandler> handlers_;
+  std::unordered_map<uint64_t, int64_t> link_bytes_;
+  int64_t kind_bytes_[kNumMessageKinds] = {0, 0, 0};
+  int64_t kind_messages_[kNumMessageKinds] = {0, 0, 0};
+  int64_t total_bytes_ = 0;
+  int64_t total_messages_ = 0;
+};
+
+std::string ToString(MessageKind kind);
+
+}  // namespace rfid
+
+#endif  // RFID_DIST_NETWORK_H_

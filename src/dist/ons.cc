@@ -1,0 +1,20 @@
+#include "dist/ons.h"
+
+namespace rfid {
+
+void Ons::Register(TagId tag, SiteId site) {
+  directory_[tag] = site;
+  ++updates_;
+}
+
+void Ons::Unregister(TagId tag) {
+  if (directory_.erase(tag) > 0) ++unregisters_;
+}
+
+SiteId Ons::Lookup(TagId tag) const {
+  ++lookups_;
+  auto it = directory_.find(tag);
+  return it == directory_.end() ? kNoSite : it->second;
+}
+
+}  // namespace rfid

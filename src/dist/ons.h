@@ -1,0 +1,61 @@
+// Object Name Service (Section 5.2): the directory mapping each tracked
+// tag to the site currently processing it, "similar to a DNS service"
+// resolving an EPC to the authoritative site.
+//
+// The distributed driver registers objects on arrival, re-registers them as
+// they move, and unregisters them when they leave the tracked supply chain;
+// query routing and state-migration use Lookup to find the owning site.
+// Lookup/update counters surface the directory load the paper discusses
+// (ONS traffic is metadata, not payload, so it is counted here rather than
+// charged to the byte-accounted Network).
+#ifndef RFID_DIST_ONS_H_
+#define RFID_DIST_ONS_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace rfid {
+
+/// The object directory. Single-writer (the distributed driver); Lookup is
+/// const and merely counts.
+class Ons {
+ public:
+  Ons() = default;
+
+  /// Points `tag` at `site`, replacing any existing registration.
+  void Register(TagId tag, SiteId site);
+
+  /// Removes `tag` from the directory (object left the tracked world).
+  void Unregister(TagId tag);
+
+  /// Site currently owning `tag`; kNoSite when unregistered.
+  SiteId Lookup(TagId tag) const;
+
+  /// Number of Lookup calls served (hits and misses).
+  int64_t lookups() const { return lookups_; }
+  /// Number of Register calls (initial registrations and moves).
+  int64_t updates() const { return updates_; }
+  /// Number of Unregister calls that removed an entry.
+  int64_t unregisters() const { return unregisters_; }
+
+  /// Live registrations.
+  size_t size() const { return directory_.size(); }
+
+  void ResetCounters() {
+    lookups_ = 0;
+    updates_ = 0;
+    unregisters_ = 0;
+  }
+
+ private:
+  std::unordered_map<TagId, SiteId> directory_;
+  mutable int64_t lookups_ = 0;
+  int64_t updates_ = 0;
+  int64_t unregisters_ = 0;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_DIST_ONS_H_

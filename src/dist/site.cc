@@ -1,0 +1,413 @@
+#include "dist/site.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/compress.h"
+#include "common/serde.h"
+#include "query/state_sharing.h"
+#include "trace/trace_io.h"
+
+namespace rfid {
+
+namespace {
+
+/// Encoded form of an idle/default pattern state: objects that never
+/// accumulated query state ship nothing.
+const std::vector<uint8_t>& DefaultPatternStateBytes() {
+  static const std::vector<uint8_t> kDefault = PatternState{}.Encode();
+  return kDefault;
+}
+
+using TagStateList = std::vector<std::pair<TagId, std::vector<uint8_t>>>;
+
+/// Splits a transfer's states into the paper's sharing groups: objects with
+/// the same container at the exit point ("20-50 objects per case"), whose
+/// query states are near-duplicates. `believed` maps object -> container.
+std::vector<TagStateList> GroupByContainer(
+    const TagStateList& states,
+    const std::unordered_map<TagId, TagId>& believed) {
+  std::vector<TagStateList> groups;
+  std::unordered_map<TagId, size_t> group_of;
+  for (const auto& entry : states) {
+    auto bit = believed.find(entry.first);
+    const TagId container = bit == believed.end() ? kNoTag : bit->second;
+    auto [git, inserted] = group_of.emplace(container, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[git->second].push_back(entry);
+  }
+  return groups;
+}
+
+void EncodeStateBlock(BufferWriter& w, const TagStateList& states,
+                      const std::vector<TagStateList>& groups, bool share) {
+  w.PutVarint(states.size());
+  if (states.empty()) return;
+  if (!share) {
+    for (const auto& [tag, bytes] : states) {
+      w.PutCompactTag(tag);
+      w.PutVarint(bytes.size());
+      w.PutBytes(bytes.data(), bytes.size());
+    }
+    return;
+  }
+  w.PutVarint(groups.size());
+  for (const TagStateList& group : groups) {
+    SharedStateBundle bundle = ShareStates(group);
+    w.PutVarint(group.size());
+    w.PutVarint(bundle.centroid_index);
+    w.PutVarint(bundle.centroid_state.size());
+    w.PutBytes(bundle.centroid_state.data(), bundle.centroid_state.size());
+    for (size_t i = 0; i < bundle.tags.size(); ++i) {
+      w.PutCompactTag(bundle.tags[i]);
+      w.PutVarint(bundle.diffs[i].size());
+      w.PutBytes(bundle.diffs[i].data(), bundle.diffs[i].size());
+    }
+  }
+}
+
+Status DecodeStateBlock(BufferReader& r, bool share, TagStateList* out) {
+  uint64_t n = 0;
+  RFID_RETURN_NOT_OK(r.GetVarint(&n));
+  out->clear();
+  if (n == 0) return Status::OK();
+  auto read_blob = [&r](std::vector<uint8_t>* blob) -> Status {
+    uint64_t len = 0;
+    RFID_RETURN_NOT_OK(r.GetVarint(&len));
+    if (len > r.remaining()) {
+      return Status::Corruption("truncated state blob");
+    }
+    blob->resize(static_cast<size_t>(len));
+    for (size_t i = 0; i < blob->size(); ++i) {
+      RFID_RETURN_NOT_OK(r.GetU8(&(*blob)[i]));
+    }
+    return Status::OK();
+  };
+  if (!share) {
+    for (uint64_t i = 0; i < n; ++i) {
+      TagId tag;
+      std::vector<uint8_t> bytes;
+      RFID_RETURN_NOT_OK(r.GetCompactTag(&tag));
+      RFID_RETURN_NOT_OK(read_blob(&bytes));
+      out->emplace_back(tag, std::move(bytes));
+    }
+    return Status::OK();
+  }
+  uint64_t n_groups = 0;
+  RFID_RETURN_NOT_OK(r.GetVarint(&n_groups));
+  for (uint64_t g = 0; g < n_groups; ++g) {
+    SharedStateBundle bundle;
+    uint64_t n_tags = 0;
+    uint64_t centroid_index = 0;
+    RFID_RETURN_NOT_OK(r.GetVarint(&n_tags));
+    RFID_RETURN_NOT_OK(r.GetVarint(&centroid_index));
+    bundle.centroid_index = static_cast<size_t>(centroid_index);
+    RFID_RETURN_NOT_OK(read_blob(&bundle.centroid_state));
+    for (uint64_t i = 0; i < n_tags; ++i) {
+      TagId tag;
+      std::vector<uint8_t> diff;
+      RFID_RETURN_NOT_OK(r.GetCompactTag(&tag));
+      RFID_RETURN_NOT_OK(read_blob(&diff));
+      bundle.tags.push_back(tag);
+      bundle.diffs.push_back(std::move(diff));
+    }
+    if (bundle.centroid_index >= bundle.tags.size()) {
+      return Status::Corruption("centroid index out of range");
+    }
+    RFID_ASSIGN_OR_RETURN(TagStateList group, UnshareStates(bundle));
+    out->insert(out->end(), group.begin(), group.end());
+  }
+  if (out->size() != n) {
+    return Status::Corruption("shared-state group count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ToString(MigrationMode mode) {
+  switch (mode) {
+    case MigrationMode::kNone:
+      return "none";
+    case MigrationMode::kCollapsed:
+      return "collapsed";
+    case MigrationMode::kFullReadings:
+      return "full_readings";
+  }
+  return "unknown";
+}
+
+Site::Site(SiteId id, const ReadRateModel* model,
+           const InterrogationSchedule* schedule, Network* network,
+           SiteOptions options)
+    : id_(id),
+      network_(network),
+      options_(std::move(options)),
+      streaming_(model, schedule, options_.streaming) {}
+
+Site::~Site() = default;
+
+void Site::AttachQueries(const ProductCatalog* catalog,
+                         const ExposureQueryConfig& q1,
+                         const ExposureQueryConfig& q2) {
+  catalog_ = catalog;
+  q1_ = std::make_unique<ExposureQuery>(catalog, q1);
+  q2_ = std::make_unique<ExposureQuery>(catalog, q2);
+}
+
+void Site::AddSensor(const SensorReading& reading) {
+  sensors_.push_back(reading);
+}
+
+void Site::Observe(const RawReading& reading) { streaming_.Observe(reading); }
+
+int Site::AdvanceTo(Epoch now) {
+  const int ran = streaming_.AdvanceTo(now);
+  if (ran > 0 && queries_attached()) {
+    // Consecutive run windows overlap (a run re-reads recent history), so
+    // drop events at or before the previous run's boundary: the pattern
+    // automaton requires per-partition event time to be monotone.
+    std::vector<ObjectEvent> events;
+    for (const ObjectEvent& e : streaming_.engine().EmitEvents()) {
+      if (e.tag.is_item() && e.time > event_watermark_) events.push_back(e);
+    }
+    event_watermark_ = now;
+    std::stable_sort(events.begin(), events.end(),
+                     [](const ObjectEvent& a, const ObjectEvent& b) {
+                       return a.time < b.time;
+                     });
+    FeedQueries(events);
+  }
+  return ran;
+}
+
+void Site::FeedQueries(const std::vector<ObjectEvent>& events) {
+  for (const ObjectEvent& e : events) {
+    // Temperature[Partition By sensor Rows 1]: each event joins with the
+    // latest sample at or before its own epoch.
+    while (sensor_cursor_ < sensors_.size() &&
+           sensors_[sensor_cursor_].time <= e.time) {
+      q1_->OnSensor(sensors_[sensor_cursor_]);
+      q2_->OnSensor(sensors_[sensor_cursor_]);
+      ++sensor_cursor_;
+    }
+    q1_->OnEvent(e);
+    q2_->OnEvent(e);
+  }
+}
+
+void Site::DeliverArrivals(Epoch now) {
+  for (auto it = pending_inference_.begin(); it != pending_inference_.end();) {
+    if (it->arrive <= now) {
+      InstallInference(*it);
+      it = pending_inference_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = pending_query_.begin(); it != pending_query_.end();) {
+    if (it->arrive <= now) {
+      InstallQueryState(*it);
+      it = pending_query_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Site::InstallInference(const PendingArrival& arrival) {
+  for (const ObjectMigrationState& s : arrival.states) {
+    ObjectContext ctx;
+    ctx.critical_region = s.critical_region;
+    ctx.barrier = s.barrier;
+    ctx.prior_weights = s.weights;
+    streaming_.ImportObjectContext(s.object, ctx);
+    // Queries can be answered before the first local run covers the object.
+    streaming_.SetImportedBelief(s.object, s.container);
+    for (const RawReading& r : s.readings) {
+      streaming_.Observe(r);
+    }
+  }
+}
+
+void Site::InstallQueryState(const PendingQueryState& pending) {
+  if (!queries_attached()) return;
+  for (const auto& [tag, bytes] : pending.q1_states) {
+    RFID_CHECK_OK(q1_->ImportState(tag, bytes));
+  }
+  for (const auto& [tag, bytes] : pending.q2_states) {
+    RFID_CHECK_OK(q2_->ImportState(tag, bytes));
+  }
+}
+
+void Site::ExportTransfer(const ObjectTransfer& tr) {
+  if (tr.to == kNoSite) {
+    Retire(tr);
+    return;
+  }
+  if (options_.migration != MigrationMode::kNone && !tr.items.empty()) {
+    std::vector<ObjectMigrationState> states;
+    states.reserve(tr.items.size());
+    for (TagId item : tr.items) {
+      ObjectMigrationState s;
+      s.object = item;
+      ObjectContext ctx = streaming_.ExportObjectContext(item);
+      s.weights = std::move(ctx.prior_weights);
+      s.critical_region = ctx.critical_region;
+      s.barrier = ctx.barrier;
+      s.container = streaming_.ContainerOf(item);
+      if (options_.migration == MigrationMode::kFullReadings) {
+        std::vector<TagId> tags;
+        tags.push_back(item);
+        for (TagId c : streaming_.engine().CandidatesOf(item)) {
+          tags.push_back(c);
+        }
+        s.readings = streaming_.ExportReadings(tags, item);
+      }
+      states.push_back(std::move(s));
+    }
+    network_->Send(id_, tr.to, MessageKind::kInferenceState,
+                   EncodeInferenceEnvelope(tr.arrive, states,
+                                           options_.compress_level));
+  }
+  if (queries_attached() && !tr.items.empty()) {
+    TagStateList q1_states;
+    TagStateList q2_states;
+    std::unordered_map<TagId, TagId> believed;
+    for (TagId item : tr.items) {
+      believed[item] = streaming_.ContainerOf(item);
+      std::vector<uint8_t> s1 = q1_->TakeState(item);
+      if (s1 != DefaultPatternStateBytes()) {
+        q1_states.emplace_back(item, std::move(s1));
+      }
+      std::vector<uint8_t> s2 = q2_->TakeState(item);
+      if (s2 != DefaultPatternStateBytes()) {
+        q2_states.emplace_back(item, std::move(s2));
+      }
+    }
+    if (!q1_states.empty() || !q2_states.empty()) {
+      network_->Send(id_, tr.to, MessageKind::kQueryState,
+                     EncodeQueryEnvelope(tr.arrive, q1_states, q2_states,
+                                         options_.share_query_state,
+                                         believed));
+    }
+  }
+}
+
+void Site::Retire(const ObjectTransfer& tr) {
+  if (!queries_attached()) return;
+  for (TagId item : tr.items) {
+    q1_->TakeState(item);
+    q2_->TakeState(item);
+  }
+}
+
+void Site::HandleMessage(SiteId from, MessageKind kind,
+                         const std::vector<uint8_t>& payload) {
+  switch (kind) {
+    case MessageKind::kInferenceState: {
+      Result<PendingArrival> arrival = DecodeInferenceEnvelope(payload);
+      RFID_CHECK_OK(arrival.status());
+      arrival->from = from;
+      pending_inference_.push_back(std::move(*arrival));
+      break;
+    }
+    case MessageKind::kQueryState: {
+      Result<PendingQueryState> pending = DecodeQueryEnvelope(payload);
+      RFID_CHECK_OK(pending.status());
+      pending_query_.push_back(std::move(*pending));
+      break;
+    }
+    case MessageKind::kRawReadings: {
+      // The centralized server ingests remote readings directly.
+      Result<std::vector<RawReading>> batch = DecodeReadingBatch(payload);
+      RFID_CHECK_OK(batch.status());
+      for (const RawReading& r : *batch) {
+        streaming_.Observe(r);
+      }
+      break;
+    }
+  }
+}
+
+// ---- Wire codecs ----
+
+std::vector<uint8_t> EncodeInferenceEnvelope(
+    Epoch arrive, const std::vector<ObjectMigrationState>& states,
+    int compress_level) {
+  std::vector<uint8_t> compressed;
+  RFID_CHECK_OK(
+      Compress(EncodeMigrationStates(states), &compressed, compress_level));
+  BufferWriter w;
+  w.PutVarint(static_cast<uint64_t>(arrive));
+  w.PutBytes(compressed.data(), compressed.size());
+  return w.Release();
+}
+
+Result<PendingArrival> DecodeInferenceEnvelope(
+    const std::vector<uint8_t>& payload) {
+  BufferReader r(payload);
+  uint64_t arrive = 0;
+  RFID_RETURN_NOT_OK(r.GetVarint(&arrive));
+  std::vector<uint8_t> compressed(payload.begin() +
+                                      static_cast<long>(r.position()),
+                                  payload.end());
+  std::vector<uint8_t> raw;
+  RFID_RETURN_NOT_OK(Decompress(compressed, &raw));
+  PendingArrival arrival;
+  arrival.arrive = static_cast<Epoch>(arrive);
+  RFID_ASSIGN_OR_RETURN(arrival.states, DecodeMigrationStates(raw));
+  return arrival;
+}
+
+std::vector<uint8_t> EncodeQueryEnvelope(
+    Epoch arrive, const TagStateList& q1_states,
+    const TagStateList& q2_states, bool share,
+    const std::unordered_map<TagId, TagId>& believed_container) {
+  BufferWriter w;
+  w.PutVarint(static_cast<uint64_t>(arrive));
+  w.PutU8(share ? 1 : 0);
+  EncodeStateBlock(w, q1_states,
+                   share ? GroupByContainer(q1_states, believed_container)
+                         : std::vector<TagStateList>{},
+                   share);
+  EncodeStateBlock(w, q2_states,
+                   share ? GroupByContainer(q2_states, believed_container)
+                         : std::vector<TagStateList>{},
+                   share);
+  return w.Release();
+}
+
+Result<PendingQueryState> DecodeQueryEnvelope(
+    const std::vector<uint8_t>& payload) {
+  BufferReader r(payload);
+  uint64_t arrive = 0;
+  RFID_RETURN_NOT_OK(r.GetVarint(&arrive));
+  uint8_t share = 0;
+  RFID_RETURN_NOT_OK(r.GetU8(&share));
+  PendingQueryState pending;
+  pending.arrive = static_cast<Epoch>(arrive);
+  RFID_RETURN_NOT_OK(DecodeStateBlock(r, share != 0, &pending.q1_states));
+  RFID_RETURN_NOT_OK(DecodeStateBlock(r, share != 0, &pending.q2_states));
+  return pending;
+}
+
+std::vector<uint8_t> EncodeReadingBatch(const std::vector<RawReading>& batch,
+                                        int compress_level) {
+  Trace trace;
+  trace.Append(batch);
+  trace.Seal();
+  std::vector<uint8_t> compressed;
+  RFID_CHECK_OK(Compress(EncodeTrace(trace), &compressed, compress_level));
+  return compressed;
+}
+
+Result<std::vector<RawReading>> DecodeReadingBatch(
+    const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> raw;
+  RFID_RETURN_NOT_OK(Decompress(payload, &raw));
+  RFID_ASSIGN_OR_RETURN(Trace trace, DecodeTrace(raw));
+  return trace.readings();
+}
+
+}  // namespace rfid

@@ -1,0 +1,191 @@
+// One site of the distributed deployment (Figure 3): a warehouse-local
+// processor that runs streaming inference over the site's own RFID stream,
+// optionally evaluates the Q1/Q2 continuous queries against it, and
+// exchanges state with peer sites over the byte-accounted Network when
+// objects cross site boundaries.
+//
+// Migration implements Section 4's three techniques:
+//   kNone         -- no state transfer; the receiving site starts cold;
+//   kCollapsed    -- ship one number per (container, object) pair (the
+//                    collapsed co-location weights), plus the critical
+//                    region, change barrier, and current belief;
+//   kFullReadings -- additionally ship the raw readings of the object and
+//                    its candidate containers inside the critical region
+//                    and recent history ("simply shipping the inference
+//                    state").
+// Inference payloads travel as delta-varint batches (common/serde,
+// inference/state) deflated with common/compress; query state migrates per
+// object, optionally compressed with the centroid-based sharing of
+// Section 4.2 (query/state_sharing).
+#ifndef RFID_DIST_SITE_H_
+#define RFID_DIST_SITE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dist/network.h"
+#include "inference/state.h"
+#include "inference/streaming.h"
+#include "query/queries.h"
+#include "sim/supply_chain.h"
+#include "trace/product_catalog.h"
+#include "trace/reading.h"
+
+namespace rfid {
+
+/// How inference state follows an object to its next site (Section 4.1).
+enum class MigrationMode : uint8_t {
+  kNone = 0,
+  kCollapsed = 1,
+  kFullReadings = 2,
+};
+
+std::string ToString(MigrationMode mode);
+
+/// Per-site processing knobs.
+struct SiteOptions {
+  MigrationMode migration = MigrationMode::kCollapsed;
+  StreamingOptions streaming;
+  /// Compress migrated query state with centroid-based sharing
+  /// (Section 4.2) instead of shipping each object's state raw.
+  bool share_query_state = false;
+  /// zlib level for migration payload compression (Table 5's "simple gzip
+  /// compression").
+  int compress_level = 6;
+};
+
+/// A decoded inbound state transfer waiting for its arrival epoch.
+struct PendingArrival {
+  Epoch arrive = 0;
+  SiteId from = kNoSite;
+  std::vector<ObjectMigrationState> states;
+};
+
+/// Pending inbound query state for one object: (query index, state bytes).
+struct PendingQueryState {
+  Epoch arrive = 0;
+  std::vector<std::pair<TagId, std::vector<uint8_t>>> q1_states;
+  std::vector<std::pair<TagId, std::vector<uint8_t>>> q2_states;
+};
+
+/// One site's processor. Owned and driven by DistributedSystem; all methods
+/// are called from the single replay thread in epoch order.
+class Site {
+ public:
+  /// `model`, `schedule`, and `network` must outlive the site. The model
+  /// and schedule are the *global* ones: locations are globally numbered,
+  /// so a site simply never sees readings outside its own range, and
+  /// full-readings imports from other sites stay interpretable.
+  Site(SiteId id, const ReadRateModel* model,
+       const InterrogationSchedule* schedule, Network* network,
+       SiteOptions options);
+  ~Site();
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  /// Instantiates Q1/Q2 against `catalog` (must outlive the site).
+  void AttachQueries(const ProductCatalog* catalog,
+                     const ExposureQueryConfig& q1,
+                     const ExposureQueryConfig& q2);
+
+  /// Appends one site-local sensor sample; must arrive time-ordered.
+  void AddSensor(const SensorReading& reading);
+
+  /// Buffers one raw reading into the streaming engine.
+  void Observe(const RawReading& reading);
+
+  /// Advances local time, running inference at period boundaries and
+  /// feeding any attached queries with the newly inferred events (sensor
+  /// samples interleaved in time order). Returns inference runs performed.
+  int AdvanceTo(Epoch now);
+
+  /// Installs every inbound transfer whose arrival epoch has been reached.
+  void DeliverArrivals(Epoch now);
+
+  /// Serializes and transmits the state of a departing transfer group to
+  /// `tr.to` (inference state per the migration mode; query state when
+  /// queries are attached). No-op for inference when mode is kNone.
+  void ExportTransfer(const ObjectTransfer& tr);
+
+  /// Drops local query state of objects leaving the tracked supply chain.
+  void Retire(const ObjectTransfer& tr);
+
+  /// Inbound message entry point (registered with the Network).
+  void HandleMessage(SiteId from, MessageKind kind,
+                     const std::vector<uint8_t>& payload);
+
+  /// The site's current belief about an object's container (local
+  /// inference, change overrides, or imported belief).
+  TagId BelievedContainer(TagId object) const {
+    return streaming_.ContainerOf(object);
+  }
+
+  SiteId id() const { return id_; }
+  const StreamingInference& streaming() const { return streaming_; }
+  StreamingInference& streaming() { return streaming_; }
+  bool queries_attached() const { return q1_ != nullptr; }
+  /// Query 0 (Q1) / 1 (Q2); nullptr when queries are not attached.
+  const ExposureQuery* query(int index) const {
+    return index == 0 ? q1_.get() : q2_.get();
+  }
+
+ private:
+  void FeedQueries(const std::vector<ObjectEvent>& events);
+  void InstallInference(const PendingArrival& arrival);
+  void InstallQueryState(const PendingQueryState& pending);
+
+  SiteId id_;
+  Network* network_;
+  SiteOptions options_;
+  StreamingInference streaming_;
+
+  const ProductCatalog* catalog_ = nullptr;
+  std::unique_ptr<ExposureQuery> q1_;
+  std::unique_ptr<ExposureQuery> q2_;
+  std::vector<SensorReading> sensors_;
+  size_t sensor_cursor_ = 0;
+  /// Newest event epoch already fed to the queries (run windows overlap).
+  Epoch event_watermark_ = -1;
+
+  std::vector<PendingArrival> pending_inference_;
+  std::vector<PendingQueryState> pending_query_;
+};
+
+// ---- Wire codecs shared by sites and the centralized driver ----
+
+/// Inference-state envelope: varint arrival epoch, then the deflated
+/// EncodeMigrationStates batch.
+std::vector<uint8_t> EncodeInferenceEnvelope(
+    Epoch arrive, const std::vector<ObjectMigrationState>& states,
+    int compress_level);
+Result<PendingArrival> DecodeInferenceEnvelope(
+    const std::vector<uint8_t>& payload);
+
+/// Query-state envelope: varint arrival epoch, shared flag, then one block
+/// per query -- raw per-object states, or (when shared) one centroid bundle
+/// per same-container group (Section 4.2's "20-50 objects per case"), built
+/// from `believed_container` (object -> container at the exit point).
+std::vector<uint8_t> EncodeQueryEnvelope(
+    Epoch arrive,
+    const std::vector<std::pair<TagId, std::vector<uint8_t>>>& q1_states,
+    const std::vector<std::pair<TagId, std::vector<uint8_t>>>& q2_states,
+    bool share,
+    const std::unordered_map<TagId, TagId>& believed_container = {});
+Result<PendingQueryState> DecodeQueryEnvelope(
+    const std::vector<uint8_t>& payload);
+
+/// Raw-readings batch for the centralized baseline: the trace_io
+/// delta-varint encoding "with simple gzip compression" (Table 5).
+std::vector<uint8_t> EncodeReadingBatch(const std::vector<RawReading>& batch,
+                                        int compress_level);
+Result<std::vector<RawReading>> DecodeReadingBatch(
+    const std::vector<uint8_t>& payload);
+
+}  // namespace rfid
+
+#endif  // RFID_DIST_SITE_H_

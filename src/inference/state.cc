@@ -1,6 +1,7 @@
 #include "inference/state.h"
 
 #include "common/serde.h"
+#include "trace/trace_io.h"
 
 namespace rfid {
 
@@ -34,12 +35,7 @@ std::vector<uint8_t> EncodeMigrationStates(
     Epoch prev_time = 0;
     uint64_t prev_tag = 0;
     for (const RawReading& r : s.readings) {
-      w.PutSignedVarint(r.time - prev_time);
-      w.PutVarint(static_cast<uint64_t>(r.reader));
-      w.PutSignedVarint(static_cast<int64_t>(r.tag.raw()) -
-                        static_cast<int64_t>(prev_tag));
-      prev_time = r.time;
-      prev_tag = r.tag.raw();
+      PutDeltaReading(w, r, prev_time, prev_tag);
     }
   }
   return w.Release();
@@ -56,7 +52,8 @@ Result<std::vector<ObjectMigrationState>> DecodeMigrationStates(
   uint64_t count;
   RFID_RETURN_NOT_OK(reader.GetVarint(&count));
   std::vector<ObjectMigrationState> states;
-  states.reserve(count);
+  // `count` is untrusted wire data: a corrupt payload must surface as a
+  // Status below, not as a length_error/bad_alloc from reserve.
   for (uint64_t i = 0; i < count; ++i) {
     ObjectMigrationState s;
     RFID_RETURN_NOT_OK(reader.GetCompactTag(&s.object));
@@ -84,15 +81,9 @@ Result<std::vector<ObjectMigrationState>> DecodeMigrationStates(
     Epoch prev_time = 0;
     uint64_t prev_tag = 0;
     for (uint64_t k = 0; k < n_readings; ++k) {
-      int64_t dt, dtag;
-      uint64_t rd;
-      RFID_RETURN_NOT_OK(reader.GetSignedVarint(&dt));
-      RFID_RETURN_NOT_OK(reader.GetVarint(&rd));
-      RFID_RETURN_NOT_OK(reader.GetSignedVarint(&dtag));
-      prev_time += dt;
-      prev_tag = static_cast<uint64_t>(static_cast<int64_t>(prev_tag) + dtag);
-      s.readings.push_back(RawReading{prev_time, TagId::FromRaw(prev_tag),
-                                      static_cast<LocationId>(rd)});
+      RawReading r;
+      RFID_RETURN_NOT_OK(GetDeltaReading(reader, &r, prev_time, prev_tag));
+      s.readings.push_back(r);
     }
     states.push_back(std::move(s));
   }

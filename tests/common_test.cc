@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/table_printer.h"
 #include "common/types.h"
+#include "inference/state.h"
 
 namespace rfid {
 namespace {
@@ -396,6 +397,63 @@ TEST(TablePrinterTest, AlignsColumns) {
 TEST(TablePrinterTest, FmtPrecision) {
   EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
   EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+}
+
+// The collapsed-state migration path (Section 4.1) layers the serde wire
+// format under zlib: a payload must survive the full
+// encode -> deflate -> inflate -> decode pipeline bit-exactly.
+TEST(MigrationPayloadTest, CollapsedStateCompressRoundTripIsBitExact) {
+  std::vector<ObjectMigrationState> states(3);
+  for (size_t i = 0; i < states.size(); ++i) {
+    ObjectMigrationState& s = states[i];
+    s.object = TagId::Item(100 + i);
+    s.container = TagId::Case(7 + i);
+    s.barrier = static_cast<Epoch>(40 * i) - 1;
+    if (i % 2 == 0) {
+      s.critical_region = EpochInterval{Epoch(10 + i), Epoch(90 + i)};
+    }
+    for (int k = 0; k < 5; ++k) {
+      // Weights ship at float resolution; use float-exact values so the
+      // round trip can be compared bit for bit.
+      s.weights.emplace_back(TagId::Case(k),
+                             static_cast<double>(static_cast<float>(
+                                 -3.25f * static_cast<float>(k + 1))));
+    }
+  }
+  states[1].readings.push_back(RawReading{120, TagId::Item(101), 4});
+  states[1].readings.push_back(RawReading{121, TagId::Case(8), 4});
+
+  const std::vector<uint8_t> encoded = EncodeMigrationStates(states);
+  std::vector<uint8_t> deflated;
+  ASSERT_TRUE(Compress(encoded, &deflated, /*level=*/6).ok());
+  ASSERT_LT(deflated.size(), encoded.size() + 32);  // sane, not bloated
+  std::vector<uint8_t> inflated;
+  ASSERT_TRUE(Decompress(deflated, &inflated).ok());
+  ASSERT_EQ(inflated, encoded);  // bit-exact through the compressor
+
+  auto decoded = DecodeMigrationStates(inflated);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    const ObjectMigrationState& in = states[i];
+    const ObjectMigrationState& out = (*decoded)[i];
+    EXPECT_EQ(out.object, in.object);
+    EXPECT_EQ(out.container, in.container);
+    EXPECT_EQ(out.barrier, in.barrier);
+    EXPECT_EQ(out.critical_region, in.critical_region);
+    EXPECT_EQ(out.weights, in.weights);
+    EXPECT_EQ(out.readings, in.readings);
+  }
+  // And re-encoding the decoded states reproduces the exact wire bytes.
+  EXPECT_EQ(EncodeMigrationStates(*decoded), encoded);
+}
+
+TEST(MigrationPayloadTest, CompressRejectsBadLevelAndGarbage) {
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(Compress({1, 2, 3}, &out, /*level=*/0).ok());
+  EXPECT_FALSE(Compress({1, 2, 3}, &out, /*level=*/10).ok());
+  std::vector<uint8_t> garbage{0xde, 0xad, 0xbe, 0xef};
+  EXPECT_FALSE(Decompress(garbage, &out).ok());
 }
 
 }  // namespace

@@ -2,6 +2,11 @@
 // state migration, and the distributed-vs-centralized drivers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
 #include "common/metrics.h"
 #include "dist/distributed.h"
 #include "dist/network.h"
@@ -40,6 +45,63 @@ TEST(NetworkTest, UnregisteredDestinationStillCharged) {
   Network net;
   net.Send(0, 5, MessageKind::kRawReadings, {1, 2});
   EXPECT_EQ(net.total_bytes(), 2);
+}
+
+TEST(WireTest, InferenceEnvelopeRoundTrip) {
+  std::vector<ObjectMigrationState> states(2);
+  states[0].object = TagId::Item(11);
+  states[0].container = TagId::Case(3);
+  states[0].weights = {{TagId::Case(3), -1.5}, {TagId::Case(4), -8.25}};
+  states[0].critical_region = EpochInterval{50, 120};
+  states[1].object = TagId::Item(12);
+  states[1].container = kNoTag;
+  states[1].barrier = 77;
+  states[1].readings.push_back(RawReading{130, TagId::Item(12), 2});
+
+  auto payload = EncodeInferenceEnvelope(/*arrive=*/900, states,
+                                         /*compress_level=*/6);
+  auto decoded = DecodeInferenceEnvelope(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->arrive, 900);
+  ASSERT_EQ(decoded->states.size(), 2u);
+  EXPECT_EQ(decoded->states[0].object, TagId::Item(11));
+  EXPECT_EQ(decoded->states[0].weights, states[0].weights);
+  EXPECT_EQ(decoded->states[0].critical_region, states[0].critical_region);
+  EXPECT_EQ(decoded->states[1].barrier, 77);
+  EXPECT_EQ(decoded->states[1].readings, states[1].readings);
+}
+
+TEST(WireTest, QueryEnvelopeRoundTripRawAndShared) {
+  // Three objects in case 1 with near-identical states, one in case 2.
+  std::vector<std::pair<TagId, std::vector<uint8_t>>> q1_states;
+  std::unordered_map<TagId, TagId> believed;
+  for (uint64_t i = 0; i < 3; ++i) {
+    std::vector<uint8_t> state{1, 2, 3, 4, 5, 6, 7, 8,
+                               static_cast<uint8_t>(i)};
+    q1_states.emplace_back(TagId::Item(i), std::move(state));
+    believed[TagId::Item(i)] = TagId::Case(1);
+  }
+  q1_states.emplace_back(TagId::Item(9),
+                         std::vector<uint8_t>{9, 9, 9, 9});
+  believed[TagId::Item(9)] = TagId::Case(2);
+  std::vector<std::pair<TagId, std::vector<uint8_t>>> q2_states;
+
+  for (bool share : {false, true}) {
+    auto payload =
+        EncodeQueryEnvelope(/*arrive=*/450, q1_states, q2_states, share,
+                            believed);
+    auto decoded = DecodeQueryEnvelope(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->arrive, 450);
+    EXPECT_TRUE(decoded->q2_states.empty());
+    ASSERT_EQ(decoded->q1_states.size(), q1_states.size());
+    // Order may change across sharing groups; compare as sets.
+    auto sorted = [](auto v) {
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    EXPECT_EQ(sorted(decoded->q1_states), sorted(q1_states));
+  }
 }
 
 TEST(OnsTest, RegisterLookupUnregister) {

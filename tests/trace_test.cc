@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <string>
 
+#include "common/serde.h"
 #include "trace/ground_truth.h"
 #include "trace/product_catalog.h"
 #include "trace/reading.h"
@@ -160,6 +162,51 @@ TEST(TraceIoTest, EncodingIsCompact) {
 TEST(TraceIoTest, BadMagicRejected) {
   std::vector<uint8_t> bytes{1, 2, 3, 4, 5, 6, 7, 8};
   EXPECT_FALSE(DecodeTrace(bytes).ok());
+}
+
+TEST(TraceIoTest, MixedKindRoundTripCoversWrappingTagDeltas) {
+  // Pallet raw ids have the top bit set; pallet->item steps exercise the
+  // uint64-wrapping delta path that would overflow in signed arithmetic.
+  Trace t;
+  t.Add(RawReading{1, TagId::Pallet(3), 0});
+  t.Add(RawReading{2, TagId::Item(5), 1});
+  t.Add(RawReading{3, TagId::Pallet(4), 0});
+  t.Add(RawReading{4, TagId::Case(9), 2});
+  t.Seal();
+  auto decoded = DecodeTrace(EncodeTrace(t));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->readings(), t.readings());
+}
+
+TEST(TraceIoTest, CorruptPayloadsAreDefinedBehavior) {
+  constexpr uint32_t kMagic = 0x52464454;  // matches the encoder
+  // Extreme time deltas: must decode without signed-overflow UB (values
+  // wrap; no crash, no sanitizer abort).
+  BufferWriter overflow;
+  overflow.PutU32(kMagic);
+  overflow.PutVarint(2);
+  for (int i = 0; i < 2; ++i) {
+    overflow.PutSignedVarint(std::numeric_limits<int64_t>::max());
+    overflow.PutVarint(3);
+    overflow.PutSignedVarint(0);
+  }
+  (void)DecodeTrace(overflow.Release());
+
+  // Reader id beyond the LocationId range: rejected, not truncated.
+  BufferWriter bad_reader;
+  bad_reader.PutU32(kMagic);
+  bad_reader.PutVarint(1);
+  bad_reader.PutSignedVarint(1);
+  bad_reader.PutVarint(uint64_t{1} << 40);
+  bad_reader.PutSignedVarint(0);
+  EXPECT_FALSE(DecodeTrace(bad_reader.Release()).ok());
+
+  // Truncated stream: count promises more readings than the bytes hold.
+  BufferWriter truncated;
+  truncated.PutU32(kMagic);
+  truncated.PutVarint(1000);
+  truncated.PutSignedVarint(1);
+  EXPECT_FALSE(DecodeTrace(truncated.Release()).ok());
 }
 
 TEST(TraceIoTest, FileRoundTrip) {
