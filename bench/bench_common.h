@@ -103,6 +103,17 @@ inline SupplyChainConfig MultiWarehouse(double read_rate,
   return cfg;
 }
 
+/// Lab-deployment workload (the Appendix C.2 traces T1..T8) with the smoke
+/// horizon cap applied. Build lab benches through this instead of a raw
+/// LabConfig so RFID_BENCH_MAX_HORIZON bounds lab replays too.
+inline LabConfig LabWorkload(int trace_index, Epoch horizon, uint64_t seed) {
+  LabConfig cfg;
+  cfg.spec = LabSpecFor(trace_index);
+  cfg.horizon = CapHorizon(horizon);
+  cfg.seed = seed;
+  return cfg;
+}
+
 /// Scores one engine run on a finished simulation.
 struct SingleSiteScore {
   double containment_error = 0.0;

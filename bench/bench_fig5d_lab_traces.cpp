@@ -22,10 +22,8 @@ int Main() {
   TablePrinter table({"Trace", "RR", "OR", "Changes", "SMURF* Cont%",
                       "SMURF* Loc%", "RFINFER Cont%", "RFINFER Loc%"});
   for (int t = 1; t <= 8; ++t) {
-    LabConfig cfg;
-    cfg.spec = LabSpecFor(t);
-    cfg.horizon = 1500;
-    cfg.seed = 7000 + static_cast<uint64_t>(t);
+    LabConfig cfg = bench::LabWorkload(t, /*horizon=*/1500,
+                                       7000 + static_cast<uint64_t>(t));
     LabDeployment lab(cfg);
     lab.Run();
 

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: the ROADMAP tier-1 verify, then an ASan/UBSan Debug pass
-# over the unit/integration suite.
+# over the unit/integration suite, then a ThreadSanitizer Debug pass over
+# the distributed layer (the parallel site executor and the determinism
+# contract of DistributedSystem::Run).
 #
 # Usage: ci/build_and_test.sh [--skip-sanitize]
 set -euo pipefail
@@ -29,5 +31,14 @@ cmake --build build-asan -j "${JOBS}"
 # workloads multiplies runtime without adding memory-safety coverage beyond
 # what the test suite already drives.
 (cd build-asan && ctest --output-on-failure -j "${JOBS}" -LE bench_smoke)
+
+echo "==> Debug + TSan: distributed executor + determinism tests"
+# TSan and ASan cannot share a build; only the threaded distributed layer
+# needs the data-race pass, so build and run just those binaries.
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DRFID_TSAN=ON
+cmake --build build-tsan -j "${JOBS}" --target dist_test executor_test
+(cd build-tsan && ctest --output-on-failure -R '^(dist_test|executor_test)$')
 
 echo "==> CI green"

@@ -28,6 +28,9 @@ DistributedSystem::DistributedSystem(
       sensors_(sensors) {
   const int num_processors =
       centralized() ? 1 : sim_->config().num_warehouses;
+  // The centralized baseline has no directory to consult (everything lives
+  // at the server), so only the distributed deployment pays ONS traffic.
+  if (!centralized()) ons_.AttachNetwork(&network_);
   sites_.reserve(static_cast<size_t>(num_processors));
   for (SiteId s = 0; s < num_processors; ++s) {
     sites_.push_back(std::make_unique<Site>(
@@ -101,15 +104,43 @@ void DistributedSystem::Run() {
                      return transfers[a].depart < transfers[b].depart;
                    });
 
+  // ---- Event schedule: the only epochs at which anything can happen ----
+  // Injections, transfer departures/arrivals (ownership, exports,
+  // deliveries), inference-period boundaries (runs and centralized
+  // flushes), and the horizon itself. Epochs in between only carry raw
+  // readings, which are ingested as whole batched windows at the next
+  // event, so idle epochs -- and idle sites -- cost nothing.
+  std::vector<Epoch> events;
+  events.reserve(injections.size() + 2 * transfers.size() +
+                 static_cast<size_t>(horizon / std::max<Epoch>(1, period)) +
+                 2);
+  for (const auto& [epoch, tag] : injections) {
+    if (epoch <= horizon) events.push_back(epoch);
+  }
+  for (const ObjectTransfer& tr : transfers) {
+    if (tr.depart <= horizon) events.push_back(tr.depart);
+    if (tr.arrive <= horizon) events.push_back(tr.arrive);
+  }
+  for (Epoch b = period; b > 0 && b <= horizon; b += period) {
+    events.push_back(b);
+  }
+  events.push_back(horizon);
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+
+  SiteExecutor executor(options_.num_threads);
   std::vector<size_t> cursor(static_cast<size_t>(num_warehouses), 0);
   std::vector<std::vector<RawReading>> batch(
       static_cast<size_t>(num_warehouses));
-  Epoch next_flush = period;
+  std::vector<size_t> ready;
+  ready.reserve(sites_.size());
+  std::vector<int> ran(sites_.size(), 0);
 
   size_t inj = 0;
   size_t arr = 0;
   size_t dep = 0;
-  for (Epoch t = 0; t <= horizon; ++t) {
+  for (Epoch t : events) {
+    // -- Serial: ownership + directory bookkeeping due at t.
     while (inj < injections.size() && injections[inj].first <= t) {
       owner_[injections[inj].second] = 0;
       ons_.Register(injections[inj].second, 0);
@@ -130,40 +161,71 @@ void DistributedSystem::Run() {
       for (TagId o : tr.items) reassign(o);
     }
 
-    for (auto& site : sites_) site->DeliverArrivals(t);
+    const bool boundary = period > 0 && t > 0 && t % period == 0;
 
-    for (SiteId s = 0; s < num_warehouses; ++s) {
-      const std::vector<RawReading>& rs = sim_->site_trace(s).readings();
-      size_t& c = cursor[static_cast<size_t>(s)];
-      while (c < rs.size() && rs[c].time == t) {
-        if (!centralized()) {
-          sites_[static_cast<size_t>(s)]->Observe(rs[c]);
-        } else if (s == 0) {
-          // Site 0 hosts the central server; its readings stay local.
-          sites_[0]->Observe(rs[c]);
-        } else {
-          batch[static_cast<size_t>(s)].push_back(rs[c]);
+    // -- Parallel window phase: install due arrivals, then ingest the
+    // whole window of readings since the previous event. Each work item
+    // touches exactly one site, so the fan-out is race-free.
+    if (!centralized()) {
+      ready.clear();
+      for (size_t s = 0; s < sites_.size(); ++s) {
+        const std::vector<RawReading>& rs = sim_->site_trace(
+            static_cast<SiteId>(s)).readings();
+        if (sites_[s]->HasArrivalsDue(t) ||
+            (cursor[s] < rs.size() && rs[cursor[s]].time <= t)) {
+          ready.push_back(s);
         }
-        ++c;
+      }
+      executor.Run(ready.size(), [&](size_t i) {
+        const size_t s = ready[i];
+        sites_[s]->DeliverArrivals(t);
+        const std::vector<RawReading>& rs = sim_->site_trace(
+            static_cast<SiteId>(s)).readings();
+        size_t& c = cursor[s];
+        const size_t begin = c;
+        while (c < rs.size() && rs[c].time <= t) ++c;
+        sites_[s]->ObserveBatch(rs.data() + begin, c - begin);
+      });
+    } else {
+      // One real processor: the window phase stays on the replay thread.
+      sites_[0]->DeliverArrivals(t);
+      for (SiteId s = 0; s < num_warehouses; ++s) {
+        const std::vector<RawReading>& rs = sim_->site_trace(s).readings();
+        size_t& c = cursor[static_cast<size_t>(s)];
+        const size_t begin = c;
+        while (c < rs.size() && rs[c].time <= t) ++c;
+        if (c == begin) continue;
+        if (s == 0) {
+          // Site 0 hosts the central server; its readings stay local.
+          sites_[0]->ObserveBatch(rs.data() + begin, c - begin);
+        } else {
+          batch[static_cast<size_t>(s)].insert(
+              batch[static_cast<size_t>(s)].end(), rs.begin() + begin,
+              rs.begin() + c);
+        }
+      }
+      if (boundary || t == horizon) {
+        for (SiteId s = 1; s < num_warehouses; ++s) {
+          std::vector<RawReading>& b = batch[static_cast<size_t>(s)];
+          if (b.empty()) continue;
+          network_.Send(s, 0, MessageKind::kRawReadings,
+                        EncodeReadingBatch(b, options_.site.compress_level));
+          b.clear();
+        }
       }
     }
 
-    if (centralized() && (t == next_flush || t == horizon)) {
-      if (t == next_flush) next_flush += period;
-      for (SiteId s = 1; s < num_warehouses; ++s) {
-        std::vector<RawReading>& b = batch[static_cast<size_t>(s)];
-        if (b.empty()) continue;
-        network_.Send(s, 0, MessageKind::kRawReadings,
-                      EncodeReadingBatch(b, options_.site.compress_level));
-        b.clear();
-      }
-    }
-
+    // -- Parallel inference phase: every site runs at period boundaries
+    // (AdvanceTo is a no-op elsewhere, so the fan-out is skipped).
     bool any_ran = false;
-    for (auto& site : sites_) {
-      any_ran = site->AdvanceTo(t) > 0 || any_ran;
+    if (boundary) {
+      executor.Run(sites_.size(), [&](size_t s) {
+        ran[s] = sites_[s]->AdvanceTo(t);
+      });
+      for (int r : ran) any_ran = any_ran || r > 0;
     }
 
+    // -- Serial boundary phase: exports, directory updates, accounting.
     while (dep < by_depart.size() &&
            transfers[by_depart[dep]].depart <= t) {
       const ObjectTransfer& tr = transfers[by_depart[dep]];
@@ -172,8 +234,11 @@ void DistributedSystem::Run() {
         if (tr.to == kNoSite) sites_[0]->Retire(tr);
       } else {
         // Locate the exporting site through the directory, the way a real
-        // deployment resolves an object's current owner.
-        SiteId from = ons_.Lookup(tr.pallet);
+        // deployment resolves an object's current owner; the destination
+        // (or, for supply-chain exits, the departing site) is the charged
+        // requester.
+        SiteId from = ons_.Resolve(tr.pallet,
+                                   tr.to != kNoSite ? tr.to : tr.from);
         if (from == kNoSite) from = tr.from;
         if (from >= 0 && from < static_cast<SiteId>(sites_.size())) {
           sites_[static_cast<size_t>(from)]->ExportTransfer(tr);

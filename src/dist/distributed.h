@@ -18,6 +18,17 @@
 // against trace/ground_truth sampled at every inference boundary
 // (Figures 5(e)/5(f)), plus the merged per-site query alerts
 // (Section 5.4).
+//
+// Execution model: the replay is event-driven and bulk-synchronous. The
+// driver precomputes every epoch at which anything can happen (injections,
+// transfer departures/arrivals, inference boundaries, flushes) and walks
+// only those events; between events each site's window of readings is
+// ingested in one batched call. Per-site work (DeliverArrivals +
+// ObserveBatch, then AdvanceTo at boundaries) fans out across a
+// SiteExecutor worker pool and joins before the serial boundary phase (ONS
+// updates, ExportTransfer, Network::Send, accuracy snapshots). Because
+// parallel work touches only site-local state and all cross-site effects
+// are serial, results are bit-identical for every num_threads value.
 #ifndef RFID_DIST_DISTRIBUTED_H_
 #define RFID_DIST_DISTRIBUTED_H_
 
@@ -25,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dist/executor.h"
 #include "dist/network.h"
 #include "dist/ons.h"
 #include "dist/site.h"
@@ -49,6 +61,10 @@ struct DistributedOptions {
   bool attach_queries = false;
   ExposureQueryConfig q1 = ExposureQuery::Q1Config();
   ExposureQueryConfig q2 = ExposureQuery::Q2Config();
+  /// Threads executing per-site windows: 0 (or 1) = serial on the replay
+  /// thread, kAutoThreads = hardware concurrency. Alerts, accuracy
+  /// snapshots, and byte counts are bit-identical across all values.
+  int num_threads = kAutoThreads;
 };
 
 /// Drives a finished simulation through the distributed (or centralized)
@@ -82,9 +98,20 @@ class DistributedSystem {
   /// (kNoTag for unknown or departed objects).
   TagId BelievedContainer(TagId object) const;
 
+  struct ErrorSnapshot {
+    Epoch epoch = 0;
+    double error_percent = 0.0;
+    bool operator==(const ErrorSnapshot&) const = default;
+  };
+
   /// Containment error (percent, vs ground truth over items present) at the
   /// inference boundary nearest to `at`. Valid after Run.
   double ContainmentErrorPercent(Epoch at) const;
+
+  /// Every per-boundary accuracy sample recorded during Run, in epoch
+  /// order -- the raw series behind the error accessors (and the
+  /// serial-vs-parallel determinism contract).
+  const std::vector<ErrorSnapshot>& snapshots() const { return snapshots_; }
 
   /// Mean containment error over all inference boundaries at or after
   /// `warmup` -- the continuous-monitoring view of Figures 5(e)/5(f).
@@ -103,11 +130,6 @@ class DistributedSystem {
   }
   Site* OwnerSite(TagId object) const;
   void RecordSnapshot(Epoch t);
-
-  struct ErrorSnapshot {
-    Epoch epoch = 0;
-    double error_percent = 0.0;
-  };
 
   const SupplyChainSim* sim_;
   DistributedOptions options_;

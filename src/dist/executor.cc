@@ -1,0 +1,74 @@
+#include "dist/executor.h"
+
+namespace rfid {
+
+int SiteExecutor::ResolveThreads(int requested) {
+  if (requested >= 0) return requested < 1 ? 1 : requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+SiteExecutor::SiteExecutor(int num_threads)
+    : num_threads_(ResolveThreads(num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SiteExecutor::~SiteExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void SiteExecutor::Run(size_t n, const Task& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  task_ = &fn;
+  next_ = 0;
+  n_ = n;
+  done_ = 0;
+  ++generation_;
+  work_cv_.notify_all();
+  // The caller is one of the executors: claim under the lock, run outside.
+  while (next_ < n_) {
+    const size_t i = next_++;
+    lock.unlock();
+    fn(i);
+    lock.lock();
+    ++done_;
+  }
+  done_cv_.wait(lock, [&] { return done_ == n_; });
+  task_ = nullptr;
+}
+
+void SiteExecutor::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (generation_ != seen && task_ != nullptr && next_ < n_);
+    });
+    if (stop_) return;
+    seen = generation_;
+    while (task_ != nullptr && next_ < n_) {
+      const size_t i = next_++;
+      const Task* fn = task_;
+      lock.unlock();
+      (*fn)(i);
+      lock.lock();
+      ++done_;
+      if (done_ == n_) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace rfid

@@ -1,0 +1,81 @@
+// Bulk-synchronous parallel executor for the distributed replay: a
+// persistent worker pool that fans independent per-site work items across
+// threads and joins before the caller proceeds to the next serial boundary
+// phase (ONS updates, transfers, Network sends).
+//
+// The pool exists because inter-boundary site work is embarrassingly
+// parallel -- sites only interact through Network::Send at transfer and
+// flush epochs -- so DistributedSystem can run every site's
+// Observe/AdvanceTo window concurrently and still produce bit-identical
+// results to the serial replay: each work item touches only one site's
+// state, and every cross-site effect happens in the serial phase between
+// Run() calls.
+#ifndef RFID_DIST_EXECUTOR_H_
+#define RFID_DIST_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rfid {
+
+/// Sentinel for "use std::thread::hardware_concurrency()".
+inline constexpr int kAutoThreads = -1;
+
+/// A fixed pool of worker threads executing indexed work items. One
+/// executor drives one replay; Run() is not reentrant and must always be
+/// called from the same (owning) thread.
+class SiteExecutor {
+ public:
+  /// Maps a requested thread count to an effective one: negative values
+  /// resolve to the hardware concurrency (at least 1); 0 and 1 mean serial
+  /// in-line execution on the caller.
+  static int ResolveThreads(int requested);
+
+  /// Spawns `ResolveThreads(num_threads) - 1` workers; the caller thread is
+  /// the remaining executor during Run().
+  explicit SiteExecutor(int num_threads);
+  ~SiteExecutor();
+
+  SiteExecutor(const SiteExecutor&) = delete;
+  SiteExecutor& operator=(const SiteExecutor&) = delete;
+
+  /// Effective thread count (workers + caller); 1 means serial.
+  int num_threads() const { return num_threads_; }
+  bool serial() const { return workers_.empty(); }
+
+  using Task = std::function<void(size_t)>;
+
+  /// Invokes fn(i) exactly once for every i in [0, n), potentially
+  /// concurrently, and returns when all invocations have completed. `fn`
+  /// must confine each index to disjoint state (one site per index). With
+  /// no workers the calls run in order on the caller.
+  void Run(size_t n, const Task& fn);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  // All task state is guarded by mu_. Indices are claimed under the lock
+  // and executed outside it; items are coarse (a whole site window), so
+  // dispatch contention is negligible against inference cost.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const Task* task_ = nullptr;
+  size_t next_ = 0;
+  size_t n_ = 0;
+  size_t done_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_DIST_EXECUTOR_H_

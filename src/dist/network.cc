@@ -44,6 +44,8 @@ std::string ToString(MessageKind kind) {
       return "inference_state";
     case MessageKind::kQueryState:
       return "query_state";
+    case MessageKind::kDirectory:
+      return "directory";
   }
   return "unknown";
 }

@@ -21,22 +21,33 @@ namespace rfid {
 
 /// Message classes the distributed experiments account separately: raw
 /// readings (the centralized baseline), collapsed/full inference state
-/// (Section 4.1), and per-object query state (Section 4.2).
+/// (Section 4.1), per-object query state (Section 4.2), and ONS directory
+/// traffic (registrations, moves, and lookups -- the "similar to a DNS
+/// service" load of Section 5.2).
 enum class MessageKind : uint8_t {
   kRawReadings = 0,
   kInferenceState = 1,
   kQueryState = 2,
+  kDirectory = 3,
 };
 
-inline constexpr int kNumMessageKinds = 3;
+inline constexpr int kNumMessageKinds = 4;
+
+/// Synthetic node id hosting the ONS directory service. No site registers a
+/// handler for it, so directory messages are charged (bytes on the wire)
+/// but consumed by the in-process Ons directly.
+inline constexpr SiteId kDirectorySite = -2;
 
 /// Delivery callback: (sender, kind, payload).
 using MessageHandler =
     std::function<void(SiteId from, MessageKind kind,
                        const std::vector<uint8_t>& payload)>;
 
-/// The in-process network. Single-threaded: Send delivers synchronously to
-/// the destination's handler before returning.
+/// The in-process network. Send delivers synchronously to the destination's
+/// handler before returning. The fabric is unsynchronized by design: under
+/// the bulk-synchronous executor (dist/executor.h) every Send happens in a
+/// serial boundary phase -- never concurrently with per-site parallel work
+/// -- which keeps the per-link/per-kind accounting race-free without locks.
 class Network {
  public:
   Network() = default;
@@ -76,8 +87,8 @@ class Network {
 
   std::unordered_map<SiteId, MessageHandler> handlers_;
   std::unordered_map<uint64_t, int64_t> link_bytes_;
-  int64_t kind_bytes_[kNumMessageKinds] = {0, 0, 0};
-  int64_t kind_messages_[kNumMessageKinds] = {0, 0, 0};
+  int64_t kind_bytes_[kNumMessageKinds] = {};
+  int64_t kind_messages_[kNumMessageKinds] = {};
   int64_t total_bytes_ = 0;
   int64_t total_messages_ = 0;
 };

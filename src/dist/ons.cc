@@ -1,14 +1,72 @@
 #include "dist/ons.h"
 
+#include "common/serde.h"
+
 namespace rfid {
+
+namespace {
+
+/// Wire form of a directory record: compact tag plus the site id biased by
+/// one so kNoSite encodes as 0. The responses and requests below are what a
+/// real ONS deployment would put on the wire, minus transport framing.
+std::vector<uint8_t> EncodeDirectoryRecord(TagId tag, SiteId site) {
+  BufferWriter w;
+  w.PutCompactTag(tag);
+  w.PutVarint(static_cast<uint64_t>(static_cast<int64_t>(site) + 1));
+  return w.Release();
+}
+
+std::vector<uint8_t> EncodeDirectoryKey(TagId tag) {
+  BufferWriter w;
+  w.PutCompactTag(tag);
+  return w.Release();
+}
+
+std::vector<uint8_t> EncodeDirectorySite(SiteId site) {
+  BufferWriter w;
+  w.PutVarint(static_cast<uint64_t>(static_cast<int64_t>(site) + 1));
+  return w.Release();
+}
+
+}  // namespace
+
+void Ons::AttachNetwork(Network* network, SiteId directory_site) {
+  network_ = network;
+  directory_site_ = directory_site;
+}
 
 void Ons::Register(TagId tag, SiteId site) {
   directory_[tag] = site;
   ++updates_;
+  if (network_ != nullptr) {
+    network_->Send(site, directory_site_, MessageKind::kDirectory,
+                   EncodeDirectoryRecord(tag, site));
+  }
 }
 
 void Ons::Unregister(TagId tag) {
-  if (directory_.erase(tag) > 0) ++unregisters_;
+  auto it = directory_.find(tag);
+  if (it == directory_.end()) return;
+  const SiteId owner = it->second;
+  directory_.erase(it);
+  ++unregisters_;
+  if (network_ != nullptr) {
+    network_->Send(owner, directory_site_, MessageKind::kDirectory,
+                   EncodeDirectoryKey(tag));
+  }
+}
+
+SiteId Ons::Resolve(TagId tag, SiteId requester) {
+  ++lookups_;
+  auto it = directory_.find(tag);
+  const SiteId site = it == directory_.end() ? kNoSite : it->second;
+  if (network_ != nullptr) {
+    network_->Send(requester, directory_site_, MessageKind::kDirectory,
+                   EncodeDirectoryKey(tag));
+    network_->Send(directory_site_, requester, MessageKind::kDirectory,
+                   EncodeDirectorySite(site));
+  }
+  return site;
 }
 
 SiteId Ons::Lookup(TagId tag) const {

@@ -4,10 +4,12 @@
 //
 // The distributed driver registers objects on arrival, re-registers them as
 // they move, and unregisters them when they leave the tracked supply chain;
-// query routing and state-migration use Lookup to find the owning site.
-// Lookup/update counters surface the directory load the paper discusses
-// (ONS traffic is metadata, not payload, so it is counted here rather than
-// charged to the byte-accounted Network).
+// query routing and state-migration use Resolve to find the owning site.
+// When a Network is attached, every directory operation is charged to it as
+// MessageKind::kDirectory traffic (request -- and, for Resolve, response --
+// bytes between the acting site and kDirectorySite), so the Table 5
+// communication accounting includes directory load. Lookup stays uncharged
+// for out-of-band diagnostics (tests, drivers inspecting final state).
 #ifndef RFID_DIST_ONS_H_
 #define RFID_DIST_ONS_H_
 
@@ -15,25 +17,37 @@
 #include <unordered_map>
 
 #include "common/types.h"
+#include "dist/network.h"
 
 namespace rfid {
 
-/// The object directory. Single-writer (the distributed driver); Lookup is
-/// const and merely counts.
+/// The object directory. Single-writer (the distributed driver): all
+/// charged operations happen in the replay's serial boundary phases, never
+/// concurrently with per-site parallel work.
 class Ons {
  public:
   Ons() = default;
 
-  /// Points `tag` at `site`, replacing any existing registration.
+  /// Routes directory traffic accounting to `network` (must outlive the
+  /// Ons); `directory_site` is the charged peer of every operation.
+  void AttachNetwork(Network* network, SiteId directory_site = kDirectorySite);
+
+  /// Points `tag` at `site`, replacing any existing registration. Charged
+  /// as one kDirectory message from `site`.
   void Register(TagId tag, SiteId site);
 
   /// Removes `tag` from the directory (object left the tracked world).
+  /// Charged from the site that owned the tag.
   void Unregister(TagId tag);
 
-  /// Site currently owning `tag`; kNoSite when unregistered.
+  /// Site currently owning `tag`; kNoSite when unregistered. Charged as a
+  /// request from `requester` plus the directory's response.
+  SiteId Resolve(TagId tag, SiteId requester);
+
+  /// Uncharged lookup for diagnostics; kNoSite when unregistered.
   SiteId Lookup(TagId tag) const;
 
-  /// Number of Lookup calls served (hits and misses).
+  /// Number of lookups served (charged and diagnostic, hits and misses).
   int64_t lookups() const { return lookups_; }
   /// Number of Register calls (initial registrations and moves).
   int64_t updates() const { return updates_; }
@@ -51,6 +65,8 @@ class Ons {
 
  private:
   std::unordered_map<TagId, SiteId> directory_;
+  Network* network_ = nullptr;
+  SiteId directory_site_ = kDirectorySite;
   mutable int64_t lookups_ = 0;
   int64_t updates_ = 0;
   int64_t unregisters_ = 0;

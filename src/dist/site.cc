@@ -161,6 +161,20 @@ void Site::AddSensor(const SensorReading& reading) {
 
 void Site::Observe(const RawReading& reading) { streaming_.Observe(reading); }
 
+void Site::ObserveBatch(const RawReading* readings, size_t n) {
+  streaming_.ObserveBatch(readings, n);
+}
+
+bool Site::HasArrivalsDue(Epoch now) const {
+  for (const PendingArrival& p : pending_inference_) {
+    if (p.arrive <= now) return true;
+  }
+  for (const PendingQueryState& p : pending_query_) {
+    if (p.arrive <= now) return true;
+  }
+  return false;
+}
+
 int Site::AdvanceTo(Epoch now) {
   const int ran = streaming_.AdvanceTo(now);
   if (ran > 0 && queries_attached()) {
@@ -327,6 +341,9 @@ void Site::HandleMessage(SiteId from, MessageKind kind,
       }
       break;
     }
+    case MessageKind::kDirectory:
+      // ONS traffic terminates at the directory service, not at sites.
+      break;
   }
 }
 

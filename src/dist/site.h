@@ -72,8 +72,12 @@ struct PendingQueryState {
   std::vector<std::pair<TagId, std::vector<uint8_t>>> q2_states;
 };
 
-/// One site's processor. Owned and driven by DistributedSystem; all methods
-/// are called from the single replay thread in epoch order.
+/// One site's processor. Owned and driven by DistributedSystem in epoch
+/// order. The site itself is unsynchronized: under the bulk-synchronous
+/// executor, Observe/ObserveBatch/AdvanceTo/DeliverArrivals run inside
+/// parallel windows (at most one thread per site at a time), while every
+/// method that crosses sites -- ExportTransfer, HandleMessage, Retire --
+/// is only invoked from the serial boundary phase between windows.
 class Site {
  public:
   /// `model`, `schedule`, and `network` must outlive the site. The model
@@ -99,6 +103,11 @@ class Site {
   /// Buffers one raw reading into the streaming engine.
   void Observe(const RawReading& reading);
 
+  /// Buffers a whole window of raw readings in one call -- the hot path of
+  /// the event-driven replay, which batches every reading between two
+  /// scheduling events instead of delivering one reading per epoch.
+  void ObserveBatch(const RawReading* readings, size_t n);
+
   /// Advances local time, running inference at period boundaries and
   /// feeding any attached queries with the newly inferred events (sensor
   /// samples interleaved in time order). Returns inference runs performed.
@@ -106,6 +115,10 @@ class Site {
 
   /// Installs every inbound transfer whose arrival epoch has been reached.
   void DeliverArrivals(Epoch now);
+
+  /// True when an inbound transfer is waiting with arrival epoch <= now --
+  /// the scheduler's cheap test for whether the site needs a delivery pass.
+  bool HasArrivalsDue(Epoch now) const;
 
   /// Serializes and transmits the state of a departing transfer group to
   /// `tr.to` (inference state per the migration mode; query state when

@@ -25,6 +25,10 @@ void StreamingInference::Observe(const RawReading& reading) {
   buffer_.Add(reading);
 }
 
+void StreamingInference::ObserveBatch(const RawReading* readings, size_t n) {
+  buffer_.Append(readings, n);
+}
+
 int StreamingInference::AdvanceTo(Epoch now) {
   int ran = 0;
   while (next_run_ <= now) {

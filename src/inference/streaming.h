@@ -78,6 +78,11 @@ class StreamingInference {
   /// current inference period.
   void Observe(const RawReading& reading);
 
+  /// Buffers `n` readings in one append. Results are identical to n
+  /// Observe calls: the history buffer is canonically re-sorted before
+  /// every inference run, so ingest order never matters.
+  void ObserveBatch(const RawReading* readings, size_t n);
+
   /// Advances stream time; runs inference whenever a period boundary is
   /// crossed. Returns the number of inference runs performed.
   int AdvanceTo(Epoch now);

@@ -27,7 +27,11 @@ class Trace {
   }
 
   void Append(const std::vector<RawReading>& rs) {
-    readings_.insert(readings_.end(), rs.begin(), rs.end());
+    Append(rs.data(), rs.size());
+  }
+
+  void Append(const RawReading* rs, size_t n) {
+    readings_.insert(readings_.end(), rs, rs + n);
     sealed_ = false;
   }
 

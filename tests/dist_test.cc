@@ -145,7 +145,13 @@ TEST(DistributedTest, MigrationTransfersBytes) {
 
   DistributedSystem none(&sim, DistOptions(MigrationMode::kNone));
   none.Run();
-  EXPECT_EQ(none.network().total_bytes(), 0);
+  // No migration payloads -- every byte on the wire is directory traffic.
+  EXPECT_EQ(none.network().BytesOfKind(MessageKind::kInferenceState), 0);
+  EXPECT_EQ(none.network().BytesOfKind(MessageKind::kQueryState), 0);
+  EXPECT_EQ(none.network().BytesOfKind(MessageKind::kRawReadings), 0);
+  EXPECT_GT(none.network().BytesOfKind(MessageKind::kDirectory), 0);
+  EXPECT_EQ(none.network().total_bytes(),
+            none.network().BytesOfKind(MessageKind::kDirectory));
 
   SupplyChainSim sim2(ChainConfig(3, 1200));
   sim2.Run();
@@ -154,6 +160,31 @@ TEST(DistributedTest, MigrationTransfersBytes) {
   EXPECT_GT(collapsed.network().total_bytes(), 0);
   EXPECT_GT(
       collapsed.network().BytesOfKind(MessageKind::kInferenceState), 0);
+}
+
+TEST(DistributedTest, DirectoryTrafficIsCharged) {
+  SupplyChainSim sim(ChainConfig(3, 1200));
+  sim.Run();
+  DistributedSystem sys(&sim, DistOptions(MigrationMode::kCollapsed));
+  sys.Run();
+  // Every registration/move/unregister and every transfer-time Resolve
+  // puts directory bytes on the wire; registrations land on the link from
+  // the registering site to the directory node.
+  const int64_t dir_bytes =
+      sys.network().BytesOfKind(MessageKind::kDirectory);
+  EXPECT_GT(dir_bytes, 0);
+  EXPECT_GE(sys.network().MessagesOfKind(MessageKind::kDirectory),
+            sys.ons().updates());
+  EXPECT_GT(sys.network().BytesOnLink(0, kDirectorySite), 0);
+
+  // The centralized baseline has no directory service to talk to.
+  SupplyChainSim sim2(ChainConfig(3, 1200));
+  sim2.Run();
+  DistributedOptions copts = DistOptions(MigrationMode::kCollapsed);
+  copts.mode = ProcessingMode::kCentralized;
+  DistributedSystem central(&sim2, copts);
+  central.Run();
+  EXPECT_EQ(central.network().BytesOfKind(MessageKind::kDirectory), 0);
 }
 
 TEST(DistributedTest, FullReadingsCostMoreThanCollapsed) {

@@ -1,0 +1,176 @@
+// Tests for the bulk-synchronous site executor and the determinism
+// contract of the parallel distributed replay: any num_threads value must
+// produce bit-identical alerts, accuracy samples, and byte accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "dist/distributed.h"
+#include "dist/executor.h"
+#include "sim/sensors.h"
+#include "sim/supply_chain.h"
+
+namespace rfid {
+namespace {
+
+TEST(SiteExecutorTest, ResolveThreads) {
+  EXPECT_EQ(SiteExecutor::ResolveThreads(0), 1);
+  EXPECT_EQ(SiteExecutor::ResolveThreads(1), 1);
+  EXPECT_EQ(SiteExecutor::ResolveThreads(4), 4);
+  EXPECT_GE(SiteExecutor::ResolveThreads(kAutoThreads), 1);
+}
+
+TEST(SiteExecutorTest, SerialModeRunsInline) {
+  SiteExecutor exec(0);
+  EXPECT_TRUE(exec.serial());
+  EXPECT_EQ(exec.num_threads(), 1);
+  std::vector<size_t> order;
+  exec.Run(5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SiteExecutorTest, RunsEveryIndexExactlyOnce) {
+  SiteExecutor exec(4);
+  EXPECT_EQ(exec.num_threads(), 4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  exec.Run(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(SiteExecutorTest, ReusableAcrossManyRuns) {
+  SiteExecutor exec(3);
+  std::atomic<int64_t> sum{0};
+  int64_t expected = 0;
+  for (int round = 1; round <= 50; ++round) {
+    const size_t n = static_cast<size_t>(round % 7);  // exercises n == 0
+    exec.Run(n, [&](size_t i) {
+      sum.fetch_add(static_cast<int64_t>(i) + 1);
+    });
+    expected += static_cast<int64_t>(n) * (static_cast<int64_t>(n) + 1) / 2;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(SiteExecutorTest, FewerItemsThanThreads) {
+  SiteExecutor exec(8);
+  std::atomic<int> count{0};
+  exec.Run(2, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 2);
+}
+
+// ---- Determinism of the parallel replay ----
+
+SupplyChainConfig DeterminismConfig() {
+  SupplyChainConfig cfg;
+  cfg.num_warehouses = 4;
+  cfg.shelves_per_warehouse = 4;
+  cfg.cases_per_pallet = 2;
+  cfg.items_per_case = 6;
+  cfg.shelf_stay = 300;
+  cfg.transit_time = 30;
+  cfg.horizon = 1500;
+  cfg.seed = 33;
+  return cfg;
+}
+
+DistributedOptions DeterminismOptions(int num_threads) {
+  DistributedOptions opts;
+  opts.site.migration = MigrationMode::kFullReadings;
+  opts.site.streaming.inference_period = 300;
+  opts.site.streaming.recent_history = 400;
+  opts.attach_queries = true;
+  opts.q1 = ExposureQuery::Q1Config(/*duration=*/300);
+  opts.q1.max_gap = 400;
+  opts.q2 = ExposureQuery::Q2Config(/*duration=*/300);
+  opts.q2.max_gap = 400;
+  opts.num_threads = num_threads;
+  return opts;
+}
+
+void ExpectSameAlerts(const std::vector<ExposureAlert>& a,
+                      const std::vector<ExposureAlert>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tag, b[i].tag) << "alert " << i;
+    EXPECT_EQ(a[i].first_time, b[i].first_time) << "alert " << i;
+    EXPECT_EQ(a[i].last_time, b[i].last_time) << "alert " << i;
+    EXPECT_EQ(a[i].n_events, b[i].n_events) << "alert " << i;
+  }
+}
+
+TEST(DeterminismTest, ParallelReplayMatchesSerialBitForBit) {
+  SupplyChainConfig cfg = DeterminismConfig();
+  SupplyChainSim sim(cfg);
+  sim.Run();
+  ASSERT_FALSE(sim.transfers().empty());
+
+  ProductCatalog catalog;
+  for (TagId item : sim.all_items()) {
+    catalog.RegisterProduct(item,
+                            ProductInfo{"frozen_food", true, false, false});
+  }
+  for (TagId c : sim.all_cases()) {
+    catalog.RegisterContainer(c, ContainerInfo{ContainerClass::kPlain});
+  }
+  SensorConfig scfg;
+  Rng rng(5);
+  auto sensors = GenerateSensorStream(scfg, sim.layout().num_locations(),
+                                      cfg.horizon, rng);
+
+  DistributedSystem serial(&sim, DeterminismOptions(/*num_threads=*/0),
+                           &catalog, &sensors);
+  serial.Run();
+  DistributedSystem parallel(&sim, DeterminismOptions(/*num_threads=*/4),
+                             &catalog, &sensors);
+  parallel.Run();
+
+  // Accuracy samples: identical boundary epochs, bit-identical errors.
+  EXPECT_EQ(serial.snapshots(), parallel.snapshots());
+  ASSERT_FALSE(serial.snapshots().empty());
+
+  // Query alerts, merged across sites.
+  ExpectSameAlerts(serial.AllAlerts(0), parallel.AllAlerts(0));
+  ExpectSameAlerts(serial.AllAlerts(1), parallel.AllAlerts(1));
+  EXPECT_FALSE(serial.AllAlerts(0).empty());
+
+  // Byte accounting: totals, per kind, and the site-to-site links.
+  EXPECT_EQ(serial.network().total_bytes(), parallel.network().total_bytes());
+  EXPECT_EQ(serial.network().total_messages(),
+            parallel.network().total_messages());
+  for (int k = 0; k < kNumMessageKinds; ++k) {
+    const MessageKind kind = static_cast<MessageKind>(k);
+    EXPECT_EQ(serial.network().BytesOfKind(kind),
+              parallel.network().BytesOfKind(kind))
+        << ToString(kind);
+    EXPECT_EQ(serial.network().MessagesOfKind(kind),
+              parallel.network().MessagesOfKind(kind))
+        << ToString(kind);
+  }
+  for (SiteId a = 0; a < cfg.num_warehouses; ++a) {
+    for (SiteId b = 0; b < cfg.num_warehouses; ++b) {
+      EXPECT_EQ(serial.network().BytesOnLink(a, b),
+                parallel.network().BytesOnLink(a, b))
+          << a << "->" << b;
+    }
+    EXPECT_EQ(serial.network().BytesOnLink(a, kDirectorySite),
+              parallel.network().BytesOnLink(a, kDirectorySite));
+  }
+  EXPECT_GT(serial.network().BytesOfKind(MessageKind::kInferenceState), 0);
+  EXPECT_GT(serial.network().BytesOfKind(MessageKind::kDirectory), 0);
+
+  // Directory state and final beliefs.
+  EXPECT_EQ(serial.ons().updates(), parallel.ons().updates());
+  EXPECT_EQ(serial.ons().unregisters(), parallel.ons().unregisters());
+  EXPECT_EQ(serial.ons().size(), parallel.ons().size());
+  for (TagId item : sim.all_items()) {
+    EXPECT_EQ(serial.BelievedContainer(item),
+              parallel.BelievedContainer(item));
+  }
+}
+
+}  // namespace
+}  // namespace rfid
