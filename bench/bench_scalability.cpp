@@ -17,6 +17,7 @@
 //    and byte accounting stay bit-identical to the serial replay. Each run
 //    rewrites BENCH_scalability.json with its machine-readable sweep;
 //    per-machine snapshots accumulate into a trajectory in EXPERIMENTS.md.
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -140,8 +141,13 @@ int Main() {
       const double eps = r.seconds > 0.0 ? horizon / r.seconds : 0.0;
       const double speedup =
           r.seconds > 0.0 ? serial.seconds / r.seconds : 0.0;
-      const bool deterministic = r.total_bytes == serial.total_bytes &&
-                                 r.avg_error == serial.avg_error;
+      // avg_error is NaN when a run recorded no accuracy samples; NaN !=
+      // NaN, so compare it as "both NaN or bitwise equal".
+      const bool same_error =
+          r.avg_error == serial.avg_error ||
+          (std::isnan(r.avg_error) && std::isnan(serial.avg_error));
+      const bool deterministic =
+          r.total_bytes == serial.total_bytes && same_error;
       dist_table.AddRow({std::to_string(sites), std::to_string(threads),
                          TablePrinter::Fmt(r.seconds, 3),
                          TablePrinter::Fmt(eps, 1),
@@ -153,9 +159,11 @@ int Main() {
                      "%s    {\"sites\": %d, \"threads\": %d, "
                      "\"seconds\": %.6f, \"epochs_per_sec\": %.2f, "
                      "\"speedup_vs_serial\": %.3f, \"total_bytes\": %lld, "
-                     "\"bytes_match_serial\": %s}",
+                     "\"bytes_match_serial\": %s, "
+                     "\"matches_serial\": %s}",
                      first_row ? "" : ",\n", sites, threads, r.seconds, eps,
                      speedup, static_cast<long long>(r.total_bytes),
+                     r.total_bytes == serial.total_bytes ? "true" : "false",
                      deterministic ? "true" : "false");
         first_row = false;
       }

@@ -8,9 +8,16 @@
 //
 // Beyond the paper's table, the distributed columns include ONS directory
 // traffic (registrations, moves, transfer-time lookups -- the directory
-// load Section 5.2 discusses), broken out as Dir. The None method's
-// payload cost stays zero; its wire cost is exactly the directory's.
+// load Section 5.2 discusses), broken out as Dir. The directory is sharded
+// across the sites (hash of tag -> shard, one shard per site by default),
+// so the Dir column is the sum of per-shard link traffic rather than a
+// single synthetic node's; the no-cache column shows what the same ops
+// cost without the per-site resolver cache (cache hits strictly reduce
+// the wire bytes, never the op count). The None method's payload cost
+// stays zero; its wire cost is exactly the directory's. A per-shard
+// load-balance table for the last read rate follows the main table.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "dist/distributed.h"
@@ -18,11 +25,20 @@
 namespace rfid {
 namespace {
 
+int64_t ShardBytesSum(const Ons& ons) {
+  int64_t sum = 0;
+  for (int s = 0; s < ons.num_shards(); ++s) sum += ons.shard_stats(s).bytes;
+  return sum;
+}
+
 int Main() {
   bench::PrintHeader("Table 5: communication cost",
                      "bytes shipped: Centralized vs None vs CR");
   TablePrinter table({"ReadRate", "Centralized", "None(dir)", "CR",
-                      "CR(inference)", "CR(dir)", "Ratio(Central/CR)"});
+                      "CR(inference)", "CR(dir)", "CR(dir,nocache)",
+                      "DirHit%", "Ratio(Central/CR)"});
+  TablePrinter shard_table({"Shard", "Host", "Updates", "Lookups",
+                            "CacheHits", "Bytes", "Share%"});
   for (double rr : {0.6, 0.7, 0.8, 0.9}) {
     SupplyChainSim sim(bench::MultiWarehouse(
         rr, /*anomaly_interval=*/0, /*horizon=*/2400,
@@ -44,27 +60,79 @@ int Main() {
     DistributedSystem sys_cr(&sim, cr);
     sys_cr.Run();
 
+    // Same ops with the resolver cache disabled: every Resolve pays wire
+    // bytes, reproducing the former single-node directory total (just
+    // spread across the per-shard links).
+    DistributedOptions cr_nocache = cr;
+    cr_nocache.directory_cache = false;
+    DistributedSystem sys_cr_nc(&sim, cr_nocache);
+    sys_cr_nc.Run();
+
     const int64_t central_bytes = sys_central.network().total_bytes();
     const int64_t cr_bytes = sys_cr.network().total_bytes();
+    const int64_t dir_bytes =
+        sys_cr.network().BytesOfKind(MessageKind::kDirectory);
+    const int64_t dir_nocache_bytes =
+        sys_cr_nc.network().BytesOfKind(MessageKind::kDirectory);
+    const int64_t charged = sys_cr.ons().charged_lookups();
+    const int64_t hits = sys_cr.ons().cache_hits();
+    const double hit_pct =
+        charged + hits > 0
+            ? 100.0 * static_cast<double>(hits) /
+                  static_cast<double>(charged + hits)
+            : 0.0;
     table.AddRow(
         {TablePrinter::Fmt(rr, 1), std::to_string(central_bytes),
          std::to_string(sys_none.network().total_bytes()),
          std::to_string(cr_bytes),
          std::to_string(
              sys_cr.network().BytesOfKind(MessageKind::kInferenceState)),
-         std::to_string(
-             sys_cr.network().BytesOfKind(MessageKind::kDirectory)),
+         std::to_string(dir_bytes), std::to_string(dir_nocache_bytes),
+         TablePrinter::Fmt(hit_pct, 1),
          TablePrinter::Fmt(
              cr_bytes > 0 ? static_cast<double>(central_bytes) /
                                 static_cast<double>(cr_bytes)
                           : 0.0,
              1)});
+
+    // Per-shard breakdown (kept for the last read rate): the per-link
+    // loads that the former single synthetic kDirectory node lumped
+    // together. Their byte sum is exactly the Dir column.
+    if (rr == 0.9) {
+      const Ons& ons = sys_cr.ons();
+      const int64_t sum = ShardBytesSum(ons);
+      for (int s = 0; s < ons.num_shards(); ++s) {
+        const OnsShardStats& st = ons.shard_stats(s);
+        shard_table.AddRow(
+            {std::to_string(s), std::to_string(ons.ShardHost(s)),
+             std::to_string(st.updates), std::to_string(st.charged_lookups),
+             std::to_string(st.cache_hits), std::to_string(st.bytes),
+             TablePrinter::Fmt(sum > 0 ? 100.0 * static_cast<double>(
+                                                     st.bytes) /
+                                             static_cast<double>(sum)
+                                       : 0.0,
+                               1)});
+      }
+      shard_table.AddRow({"sum", "-", std::to_string(ons.updates()),
+                          std::to_string(ons.charged_lookups()),
+                          std::to_string(ons.cache_hits()),
+                          std::to_string(sum),
+                          sum == dir_bytes ? "=Dir" : "MISMATCH"});
+    }
   }
   table.Print();
   std::printf(
       "expected shape: centralized bytes grow with read rate and dwarf CR;\n"
       "the gap widens with residence time -- at the paper's 4-hour scale it\n"
-      "reaches 3 orders of magnitude.\n\n");
+      "reaches 3 orders of magnitude. CR(dir) <= CR(dir,nocache): repeat\n"
+      "resolutions of unmoved objects are served from per-site resolver\n"
+      "caches and cost zero wire bytes.\n\n");
+  std::printf("--- directory load per shard (ReadRate 0.9, CR) ---\n");
+  shard_table.Print();
+  std::printf(
+      "expected shape: hash partitioning spreads updates/lookups/bytes\n"
+      "roughly evenly across shards (no single-node hotspot); the sum row\n"
+      "equals the CR(dir) column above.\n\n");
   return 0;
 }
 

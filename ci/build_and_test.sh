@@ -32,13 +32,15 @@ cmake --build build-asan -j "${JOBS}"
 # what the test suite already drives.
 (cd build-asan && ctest --output-on-failure -j "${JOBS}" -LE bench_smoke)
 
-echo "==> Debug + TSan: distributed executor + determinism tests"
+echo "==> Debug + TSan: distributed executor + determinism + ONS tests"
 # TSan and ASan cannot share a build; only the threaded distributed layer
 # needs the data-race pass, so build and run just those binaries.
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DRFID_TSAN=ON
-cmake --build build-tsan -j "${JOBS}" --target dist_test executor_test
-(cd build-tsan && ctest --output-on-failure -R '^(dist_test|executor_test)$')
+cmake --build build-tsan -j "${JOBS}" \
+  --target dist_test executor_test ons_test
+(cd build-tsan && \
+  ctest --output-on-failure -R '^(dist_test|executor_test|ons_test)$')
 
 echo "==> CI green"

@@ -1,5 +1,6 @@
 #include "common/table_printer.h"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -14,6 +15,9 @@ void TablePrinter::AddRow(std::vector<std::string> cells) {
 }
 
 std::string TablePrinter::Fmt(double v, int precision) {
+  // NaN/inf mean "not measured" (e.g. an accuracy accessor with no
+  // samples); print n/a rather than a number that looks like data.
+  if (!std::isfinite(v)) return "n/a";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;

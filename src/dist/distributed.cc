@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <numeric>
 
 #include "common/metrics.h"
@@ -30,7 +31,16 @@ DistributedSystem::DistributedSystem(
       centralized() ? 1 : sim_->config().num_warehouses;
   // The centralized baseline has no directory to consult (everything lives
   // at the server), so only the distributed deployment pays ONS traffic.
-  if (!centralized()) ons_.AttachNetwork(&network_);
+  if (!centralized()) {
+    OnsOptions ons_opts;
+    ons_opts.num_shards = options_.directory_shards > 0
+                              ? options_.directory_shards
+                              : num_processors;
+    ons_opts.num_sites = num_processors;
+    ons_opts.resolver_cache = options_.directory_cache;
+    ons_.Configure(ons_opts);
+    ons_.AttachNetwork(&network_);
+  }
   sites_.reserve(static_cast<size_t>(num_processors));
   for (SiteId s = 0; s < num_processors; ++s) {
     sites_.push_back(std::make_unique<Site>(
@@ -128,7 +138,12 @@ void DistributedSystem::Run() {
   std::sort(events.begin(), events.end());
   events.erase(std::unique(events.begin(), events.end()), events.end());
 
-  SiteExecutor executor(options_.num_threads);
+  // At most one thread per site can ever be useful: each work item owns a
+  // whole site, so a wider pool (e.g. kAutoThreads on a many-core box
+  // driving a 1-site centralized replay) only adds wakeup contention.
+  SiteExecutor executor(
+      std::min(SiteExecutor::ResolveThreads(options_.num_threads),
+               static_cast<int>(sites_.size())));
   std::vector<size_t> cursor(static_cast<size_t>(num_warehouses), 0);
   std::vector<std::vector<RawReading>> batch(
       static_cast<size_t>(num_warehouses));
@@ -152,6 +167,11 @@ void DistributedSystem::Run() {
       const ObjectTransfer& tr = transfers[by_arrive[arr]];
       ++arr;
       if (tr.to == kNoSite) continue;
+      // The destination locates the group's previous owner before taking
+      // over (the handoff's "who do I pull stragglers from" resolution).
+      // Nothing moved since the departure-time resolution, so with the
+      // resolver cache enabled this repeat costs zero wire bytes.
+      if (!centralized()) ons_.Resolve(tr.pallet, tr.to);
       auto reassign = [&](TagId tag) {
         owner_[tag] = tr.to;
         ons_.Register(tag, tr.to);
@@ -255,7 +275,10 @@ void DistributedSystem::Run() {
       }
     }
 
-    if (any_ran) RecordSnapshot(t);
+    // Sample accuracy whenever inference ran, and always at the horizon:
+    // when the horizon is not a multiple of the inference period the final
+    // stretch of the run would otherwise never be measured.
+    if (any_ran || t == horizon) RecordSnapshot(t);
   }
 }
 
@@ -285,7 +308,11 @@ void DistributedSystem::RecordSnapshot(Epoch t) {
 }
 
 double DistributedSystem::ContainmentErrorPercent(Epoch at) const {
-  if (snapshots_.empty()) return 0.0;
+  // No samples means "not measured", never "perfect": return NaN so an
+  // empty run cannot masquerade as a flawless one (benches print n/a).
+  if (snapshots_.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   const ErrorSnapshot* best = &snapshots_.front();
   for (const ErrorSnapshot& s : snapshots_) {
     if (std::abs(s.epoch - at) < std::abs(best->epoch - at)) best = &s;
@@ -298,7 +325,8 @@ double DistributedSystem::AverageContainmentErrorPercent(Epoch warmup) const {
   for (const ErrorSnapshot& s : snapshots_) {
     if (s.epoch >= warmup) stats.Add(s.error_percent);
   }
-  return stats.count() == 0 ? 0.0 : stats.Mean();
+  return stats.count() == 0 ? std::numeric_limits<double>::quiet_NaN()
+                            : stats.Mean();
 }
 
 std::vector<ExposureAlert> DistributedSystem::AllAlerts(

@@ -26,9 +26,11 @@
 // ingested in one batched call. Per-site work (DeliverArrivals +
 // ObserveBatch, then AdvanceTo at boundaries) fans out across a
 // SiteExecutor worker pool and joins before the serial boundary phase (ONS
-// updates, ExportTransfer, Network::Send, accuracy snapshots). Because
-// parallel work touches only site-local state and all cross-site effects
-// are serial, results are bit-identical for every num_threads value.
+// shard updates/resolves, ExportTransfer, Network::Send, accuracy
+// snapshots). Because parallel work touches only site-local state and all
+// cross-site effects -- including every sharded-directory mutation and
+// cache fill -- are serial, results are bit-identical for every
+// num_threads (and directory_shards) value.
 #ifndef RFID_DIST_DISTRIBUTED_H_
 #define RFID_DIST_DISTRIBUTED_H_
 
@@ -65,6 +67,13 @@ struct DistributedOptions {
   /// thread, kAutoThreads = hardware concurrency. Alerts, accuracy
   /// snapshots, and byte counts are bit-identical across all values.
   int num_threads = kAutoThreads;
+  /// ONS directory shards (hash partition of the tag->site map, each shard
+  /// hosted by a real site); 0 = one shard per site. Shard count changes
+  /// only which links carry the directory bytes, never the totals.
+  int directory_shards = 0;
+  /// Per-site resolver caching of directory lookups (invalidated on
+  /// moves); repeat resolutions of an unmoved object cost zero wire bytes.
+  bool directory_cache = true;
 };
 
 /// Drives a finished simulation through the distributed (or centralized)
@@ -105,16 +114,19 @@ class DistributedSystem {
   };
 
   /// Containment error (percent, vs ground truth over items present) at the
-  /// inference boundary nearest to `at`. Valid after Run.
+  /// accuracy sample nearest to `at`. Valid after Run; NaN when no samples
+  /// were recorded (an empty run is not a perfect one).
   double ContainmentErrorPercent(Epoch at) const;
 
-  /// Every per-boundary accuracy sample recorded during Run, in epoch
-  /// order -- the raw series behind the error accessors (and the
-  /// serial-vs-parallel determinism contract).
+  /// Every accuracy sample recorded during Run (one per inference boundary
+  /// that ran, plus a forced sample at the horizon so the final stretch is
+  /// always measured), in epoch order -- the raw series behind the error
+  /// accessors (and the serial-vs-parallel determinism contract).
   const std::vector<ErrorSnapshot>& snapshots() const { return snapshots_; }
 
-  /// Mean containment error over all inference boundaries at or after
-  /// `warmup` -- the continuous-monitoring view of Figures 5(e)/5(f).
+  /// Mean containment error over all accuracy samples at or after `warmup`
+  /// -- the continuous-monitoring view of Figures 5(e)/5(f). NaN when no
+  /// sample falls in the range.
   double AverageContainmentErrorPercent(Epoch warmup = 0) const;
 
   /// All alerts of query `query_index` (0 = Q1, 1 = Q2) merged across

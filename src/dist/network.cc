@@ -12,6 +12,7 @@ size_t Network::Send(SiteId from, SiteId to, MessageKind kind,
                      const std::vector<uint8_t>& payload) {
   const int64_t n = static_cast<int64_t>(payload.size());
   link_bytes_[LinkKey(from, to)] += n;
+  link_messages_[LinkKey(from, to)] += 1;
   kind_bytes_[static_cast<size_t>(kind)] += n;
   kind_messages_[static_cast<size_t>(kind)] += 1;
   total_bytes_ += n;
@@ -28,8 +29,14 @@ int64_t Network::BytesOnLink(SiteId from, SiteId to) const {
   return it == link_bytes_.end() ? 0 : it->second;
 }
 
+int64_t Network::MessagesOnLink(SiteId from, SiteId to) const {
+  auto it = link_messages_.find(LinkKey(from, to));
+  return it == link_messages_.end() ? 0 : it->second;
+}
+
 void Network::ResetCounters() {
   link_bytes_.clear();
+  link_messages_.clear();
   for (int64_t& b : kind_bytes_) b = 0;
   for (int64_t& m : kind_messages_) m = 0;
   total_bytes_ = 0;

@@ -23,7 +23,8 @@ namespace rfid {
 /// readings (the centralized baseline), collapsed/full inference state
 /// (Section 4.1), per-object query state (Section 4.2), and ONS directory
 /// traffic (registrations, moves, and lookups -- the "similar to a DNS
-/// service" load of Section 5.2).
+/// service" load of Section 5.2, charged per (site, shard host) link since
+/// the directory was sharded across sites; see dist/ons.h).
 enum class MessageKind : uint8_t {
   kRawReadings = 0,
   kInferenceState = 1,
@@ -33,9 +34,12 @@ enum class MessageKind : uint8_t {
 
 inline constexpr int kNumMessageKinds = 4;
 
-/// Synthetic node id hosting the ONS directory service. No site registers a
-/// handler for it, so directory messages are charged (bytes on the wire)
-/// but consumed by the in-process Ons directly.
+/// Synthetic node id hosting ONS directory shards when the Ons knows no
+/// hosting sites (OnsOptions::num_sites == 0, e.g. standalone unit tests).
+/// No site registers a handler for it, so such directory messages are
+/// charged (bytes on the wire) but consumed by the in-process Ons
+/// directly. A configured deployment instead hosts shard s at real site
+/// s % num_sites and charges that link.
 inline constexpr SiteId kDirectorySite = -2;
 
 /// Delivery callback: (sender, kind, payload).
@@ -67,6 +71,8 @@ class Network {
 
   /// Bytes sent over the directed link from -> to.
   int64_t BytesOnLink(SiteId from, SiteId to) const;
+  /// Messages sent over the directed link from -> to.
+  int64_t MessagesOnLink(SiteId from, SiteId to) const;
 
   /// Bytes sent with the given message kind.
   int64_t BytesOfKind(MessageKind kind) const {
@@ -87,6 +93,7 @@ class Network {
 
   std::unordered_map<SiteId, MessageHandler> handlers_;
   std::unordered_map<uint64_t, int64_t> link_bytes_;
+  std::unordered_map<uint64_t, int64_t> link_messages_;
   int64_t kind_bytes_[kNumMessageKinds] = {};
   int64_t kind_messages_[kNumMessageKinds] = {};
   int64_t total_bytes_ = 0;

@@ -30,17 +30,48 @@ std::vector<uint8_t> EncodeDirectorySite(SiteId site) {
 
 }  // namespace
 
-void Ons::AttachNetwork(Network* network, SiteId directory_site) {
-  network_ = network;
-  directory_site_ = directory_site;
+void Ons::Configure(OnsOptions options) {
+  if (options.num_shards < 1) options.num_shards = 1;
+  if (options.num_sites < 0) options.num_sites = 0;
+  options_ = options;
+  directory_.clear();
+  shards_.assign(static_cast<size_t>(options_.num_shards), OnsShardStats{});
+  caches_.assign(
+      options_.resolver_cache ? static_cast<size_t>(options_.num_sites) : 0,
+      {});
+  diagnostic_lookups_ = 0;
+}
+
+int Ons::ShardOfTag(TagId tag, int num_shards) {
+  if (num_shards <= 1) return 0;
+  // splitmix64 finalizer (TagIdHash): sequential serials spread evenly.
+  return static_cast<int>(TagIdHash{}(tag) %
+                          static_cast<uint64_t>(num_shards));
+}
+
+SiteId Ons::ShardHost(int shard) const {
+  if (options_.num_sites <= 0) return kDirectorySite;
+  return static_cast<SiteId>(shard % options_.num_sites);
 }
 
 void Ons::Register(TagId tag, SiteId site) {
-  directory_[tag] = site;
-  ++updates_;
+  const int shard = ShardOf(tag);
+  OnsShardStats& st = shards_[static_cast<size_t>(shard)];
+  auto it = directory_.find(tag);
+  const bool changed = it == directory_.end() || it->second != site;
+  if (it == directory_.end()) {
+    directory_.emplace(tag, site);
+  } else {
+    it->second = site;
+  }
+  ++st.updates;
+  // A first registration also invalidates: caches may hold a negative
+  // (kNoSite) answer from a pre-registration Resolve.
+  if (changed) InvalidateCaches(tag);
   if (network_ != nullptr) {
-    network_->Send(site, directory_site_, MessageKind::kDirectory,
-                   EncodeDirectoryRecord(tag, site));
+    st.bytes += static_cast<int64_t>(
+        network_->Send(site, ShardHost(shard), MessageKind::kDirectory,
+                       EncodeDirectoryRecord(tag, site)));
   }
 }
 
@@ -49,30 +80,82 @@ void Ons::Unregister(TagId tag) {
   if (it == directory_.end()) return;
   const SiteId owner = it->second;
   directory_.erase(it);
-  ++unregisters_;
+  const int shard = ShardOf(tag);
+  OnsShardStats& st = shards_[static_cast<size_t>(shard)];
+  ++st.unregisters;
+  InvalidateCaches(tag);
   if (network_ != nullptr) {
-    network_->Send(owner, directory_site_, MessageKind::kDirectory,
-                   EncodeDirectoryKey(tag));
+    st.bytes += static_cast<int64_t>(
+        network_->Send(owner, ShardHost(shard), MessageKind::kDirectory,
+                       EncodeDirectoryKey(tag)));
   }
 }
 
 SiteId Ons::Resolve(TagId tag, SiteId requester) {
-  ++lookups_;
+  const int shard = ShardOf(tag);
+  OnsShardStats& st = shards_[static_cast<size_t>(shard)];
+  if (CacheableRequester(requester)) {
+    const auto& cache = caches_[static_cast<size_t>(requester)];
+    auto hit = cache.find(tag);
+    if (hit != cache.end()) {
+      ++st.cache_hits;
+      return hit->second;
+    }
+  }
+  ++st.charged_lookups;
   auto it = directory_.find(tag);
   const SiteId site = it == directory_.end() ? kNoSite : it->second;
   if (network_ != nullptr) {
-    network_->Send(requester, directory_site_, MessageKind::kDirectory,
-                   EncodeDirectoryKey(tag));
-    network_->Send(directory_site_, requester, MessageKind::kDirectory,
-                   EncodeDirectorySite(site));
+    const SiteId host = ShardHost(shard);
+    st.bytes += static_cast<int64_t>(network_->Send(
+        requester, host, MessageKind::kDirectory, EncodeDirectoryKey(tag)));
+    st.bytes += static_cast<int64_t>(
+        network_->Send(host, requester, MessageKind::kDirectory,
+                       EncodeDirectorySite(site)));
+  }
+  if (CacheableRequester(requester)) {
+    caches_[static_cast<size_t>(requester)][tag] = site;
   }
   return site;
 }
 
 SiteId Ons::Lookup(TagId tag) const {
-  ++lookups_;
+  ++diagnostic_lookups_;
   auto it = directory_.find(tag);
   return it == directory_.end() ? kNoSite : it->second;
+}
+
+void Ons::InvalidateCaches(TagId tag) {
+  for (auto& cache : caches_) cache.erase(tag);
+}
+
+int64_t Ons::charged_lookups() const {
+  int64_t sum = 0;
+  for (const OnsShardStats& st : shards_) sum += st.charged_lookups;
+  return sum;
+}
+
+int64_t Ons::cache_hits() const {
+  int64_t sum = 0;
+  for (const OnsShardStats& st : shards_) sum += st.cache_hits;
+  return sum;
+}
+
+int64_t Ons::updates() const {
+  int64_t sum = 0;
+  for (const OnsShardStats& st : shards_) sum += st.updates;
+  return sum;
+}
+
+int64_t Ons::unregisters() const {
+  int64_t sum = 0;
+  for (const OnsShardStats& st : shards_) sum += st.unregisters;
+  return sum;
+}
+
+void Ons::ResetCounters() {
+  for (OnsShardStats& st : shards_) st = OnsShardStats{};
+  diagnostic_lookups_ = 0;
 }
 
 }  // namespace rfid

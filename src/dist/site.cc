@@ -342,7 +342,9 @@ void Site::HandleMessage(SiteId from, MessageKind kind,
       break;
     }
     case MessageKind::kDirectory:
-      // ONS traffic terminates at the directory service, not at sites.
+      // Directory shards are hosted at sites for the byte accounting, but
+      // their payloads are consumed in-process by the Ons; the site itself
+      // only carries the charge.
       break;
   }
 }

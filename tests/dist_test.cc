@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -113,8 +114,12 @@ TEST(OnsTest, RegisterLookupUnregister) {
   EXPECT_EQ(ons.Lookup(TagId::Item(1)), 4);
   ons.Unregister(TagId::Item(1));
   EXPECT_EQ(ons.Lookup(TagId::Item(1)), kNoSite);
-  EXPECT_EQ(ons.lookups(), 4);
+  // Diagnostic Lookups are counted apart from charged Resolves: they are
+  // out-of-band inspection, not directory load.
+  EXPECT_EQ(ons.diagnostic_lookups(), 4);
+  EXPECT_EQ(ons.charged_lookups(), 0);
   EXPECT_EQ(ons.updates(), 2);
+  EXPECT_EQ(ons.unregisters(), 1);
 }
 
 SupplyChainConfig ChainConfig(int warehouses, Epoch horizon) {
@@ -167,15 +172,27 @@ TEST(DistributedTest, DirectoryTrafficIsCharged) {
   sim.Run();
   DistributedSystem sys(&sim, DistOptions(MigrationMode::kCollapsed));
   sys.Run();
-  // Every registration/move/unregister and every transfer-time Resolve
+  // Every registration/move/unregister and every cache-missing Resolve
   // puts directory bytes on the wire; registrations land on the link from
-  // the registering site to the directory node.
+  // the registering site to the owning shard's hosting site, and the
+  // per-shard byte counters sum to the kDirectory total.
   const int64_t dir_bytes =
       sys.network().BytesOfKind(MessageKind::kDirectory);
   EXPECT_GT(dir_bytes, 0);
   EXPECT_GE(sys.network().MessagesOfKind(MessageKind::kDirectory),
             sys.ons().updates());
-  EXPECT_GT(sys.network().BytesOnLink(0, kDirectorySite), 0);
+  EXPECT_EQ(sys.ons().num_shards(), 3);
+  int64_t shard_bytes = 0;
+  int64_t from_site0 = 0;
+  for (int s = 0; s < sys.ons().num_shards(); ++s) {
+    shard_bytes += sys.ons().shard_stats(s).bytes;
+    from_site0 += sys.network().BytesOnLink(0, sys.ons().ShardHost(s));
+  }
+  EXPECT_EQ(shard_bytes, dir_bytes);
+  // All injections register at site 0, so it talks to every shard host.
+  EXPECT_GT(from_site0, 0);
+  // The synthetic single-node id is no longer charged.
+  EXPECT_EQ(sys.network().BytesOnLink(0, kDirectorySite), 0);
 
   // The centralized baseline has no directory service to talk to.
   SupplyChainSim sim2(ChainConfig(3, 1200));
@@ -270,7 +287,49 @@ TEST(DistributedTest, OnsTracksObjectSites) {
       EXPECT_LT(registered, 3);
     }
   }
-  EXPECT_GT(sys.ons().lookups(), 0);
+  // The replay's transfer-time Resolves are directory load; the Lookup
+  // calls in the loop above are diagnostics and counted separately.
+  EXPECT_GT(sys.ons().charged_lookups(), 0);
+  EXPECT_GT(sys.ons().diagnostic_lookups(), 0);
+}
+
+TEST(DistributedTest, HorizonSnapshotForcedWhenOffBoundary) {
+  // horizon 1000 with inference period 300: boundaries at 300/600/900, so
+  // without the forced horizon sample the final 100 epochs would never be
+  // measured.
+  SupplyChainSim sim(ChainConfig(3, 1000));
+  sim.Run();
+  DistributedSystem sys(&sim, DistOptions(MigrationMode::kCollapsed));
+  sys.Run();
+  ASSERT_FALSE(sys.snapshots().empty());
+  EXPECT_EQ(sys.snapshots().back().epoch, 1000);
+  // Exactly one sample per epoch: the forced horizon sample never doubles
+  // an on-boundary one.
+  SupplyChainSim sim2(ChainConfig(3, 1200));
+  sim2.Run();
+  DistributedSystem sys2(&sim2, DistOptions(MigrationMode::kCollapsed));
+  sys2.Run();
+  ASSERT_FALSE(sys2.snapshots().empty());
+  EXPECT_EQ(sys2.snapshots().back().epoch, 1200);
+  for (size_t i = 1; i < sys2.snapshots().size(); ++i) {
+    EXPECT_LT(sys2.snapshots()[i - 1].epoch, sys2.snapshots()[i].epoch);
+  }
+}
+
+TEST(DistributedTest, EmptyRunReportsNaNErrorNotPerfect) {
+  SupplyChainSim sim(ChainConfig(2, 900));
+  sim.Run();
+  DistributedSystem sys(&sim, DistOptions(MigrationMode::kCollapsed));
+  // Never Run: no accuracy samples exist, so the error accessors must not
+  // claim a flawless 0.0%.
+  EXPECT_TRUE(std::isnan(sys.ContainmentErrorPercent(100)));
+  EXPECT_TRUE(std::isnan(sys.AverageContainmentErrorPercent()));
+  // And a run whose warmup excludes every sample is equally "unmeasured".
+  DistributedSystem ran(&sim, DistOptions(MigrationMode::kCollapsed));
+  ran.Run();
+  EXPECT_FALSE(std::isnan(ran.AverageContainmentErrorPercent()));
+  EXPECT_TRUE(std::isnan(
+      ran.AverageContainmentErrorPercent(sim.config().horizon + 1)));
 }
 
 TEST(DistributedTest, QueriesRunAtSites) {

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "dist/distributed.h"
@@ -77,7 +79,8 @@ SupplyChainConfig DeterminismConfig() {
   return cfg;
 }
 
-DistributedOptions DeterminismOptions(int num_threads) {
+DistributedOptions DeterminismOptions(int num_threads,
+                                      int directory_shards = 0) {
   DistributedOptions opts;
   opts.site.migration = MigrationMode::kFullReadings;
   opts.site.streaming.inference_period = 300;
@@ -88,6 +91,7 @@ DistributedOptions DeterminismOptions(int num_threads) {
   opts.q2 = ExposureQuery::Q2Config(/*duration=*/300);
   opts.q2.max_gap = 400;
   opts.num_threads = num_threads;
+  opts.directory_shards = directory_shards;
   return opts;
 }
 
@@ -102,7 +106,12 @@ void ExpectSameAlerts(const std::vector<ExposureAlert>& a,
   }
 }
 
-TEST(DeterminismTest, ParallelReplayMatchesSerialBitForBit) {
+// Runs the full thread x shard matrix: within a shard count, every
+// num_threads value must be bit-identical down to per-link bytes; across
+// shard counts, everything except the per-link distribution (which is the
+// point of sharding) must also be identical -- totals, alerts, snapshots,
+// directory counters, and beliefs.
+TEST(DeterminismTest, ThreadAndShardMatrixMatchesBitForBit) {
   SupplyChainConfig cfg = DeterminismConfig();
   SupplyChainSim sim(cfg);
   sim.Run();
@@ -121,54 +130,109 @@ TEST(DeterminismTest, ParallelReplayMatchesSerialBitForBit) {
   auto sensors = GenerateSensorStream(scfg, sim.layout().num_locations(),
                                       cfg.horizon, rng);
 
-  DistributedSystem serial(&sim, DeterminismOptions(/*num_threads=*/0),
-                           &catalog, &sensors);
-  serial.Run();
-  DistributedSystem parallel(&sim, DeterminismOptions(/*num_threads=*/4),
-                             &catalog, &sensors);
-  parallel.Run();
+  const std::vector<int> kThreads = {0, 1, 4};
+  const std::vector<int> kShards = {1, 4};
 
-  // Accuracy samples: identical boundary epochs, bit-identical errors.
-  EXPECT_EQ(serial.snapshots(), parallel.snapshots());
-  ASSERT_FALSE(serial.snapshots().empty());
+  std::vector<std::unique_ptr<DistributedSystem>> references;
+  for (int shards : kShards) {
+    std::unique_ptr<DistributedSystem> reference;
+    for (int threads : kThreads) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " shards=" + std::to_string(shards));
+      auto sys = std::make_unique<DistributedSystem>(
+          &sim, DeterminismOptions(threads, shards), &catalog, &sensors);
+      sys->Run();
+      if (reference == nullptr) {
+        ASSERT_FALSE(sys->snapshots().empty());
+        EXPECT_FALSE(sys->AllAlerts(0).empty());
+        EXPECT_GT(
+            sys->network().BytesOfKind(MessageKind::kInferenceState), 0);
+        EXPECT_GT(sys->network().BytesOfKind(MessageKind::kDirectory), 0);
+        EXPECT_EQ(sys->ons().num_shards(), shards);
+        reference = std::move(sys);
+        continue;
+      }
+      const DistributedSystem& serial = *reference;
+      const DistributedSystem& parallel = *sys;
 
-  // Query alerts, merged across sites.
-  ExpectSameAlerts(serial.AllAlerts(0), parallel.AllAlerts(0));
-  ExpectSameAlerts(serial.AllAlerts(1), parallel.AllAlerts(1));
-  EXPECT_FALSE(serial.AllAlerts(0).empty());
+      // Accuracy samples: identical epochs, bit-identical errors.
+      EXPECT_EQ(serial.snapshots(), parallel.snapshots());
 
-  // Byte accounting: totals, per kind, and the site-to-site links.
-  EXPECT_EQ(serial.network().total_bytes(), parallel.network().total_bytes());
-  EXPECT_EQ(serial.network().total_messages(),
-            parallel.network().total_messages());
+      // Query alerts, merged across sites.
+      ExpectSameAlerts(serial.AllAlerts(0), parallel.AllAlerts(0));
+      ExpectSameAlerts(serial.AllAlerts(1), parallel.AllAlerts(1));
+
+      // Byte accounting: totals, per kind, and the site-to-site links
+      // (including the directory-shard links, which land on real sites).
+      EXPECT_EQ(serial.network().total_bytes(),
+                parallel.network().total_bytes());
+      EXPECT_EQ(serial.network().total_messages(),
+                parallel.network().total_messages());
+      for (int k = 0; k < kNumMessageKinds; ++k) {
+        const MessageKind kind = static_cast<MessageKind>(k);
+        EXPECT_EQ(serial.network().BytesOfKind(kind),
+                  parallel.network().BytesOfKind(kind))
+            << ToString(kind);
+        EXPECT_EQ(serial.network().MessagesOfKind(kind),
+                  parallel.network().MessagesOfKind(kind))
+            << ToString(kind);
+      }
+      for (SiteId a = 0; a < cfg.num_warehouses; ++a) {
+        for (SiteId b = 0; b < cfg.num_warehouses; ++b) {
+          EXPECT_EQ(serial.network().BytesOnLink(a, b),
+                    parallel.network().BytesOnLink(a, b))
+              << a << "->" << b;
+        }
+      }
+
+      // Directory state, per-shard load, and final beliefs.
+      EXPECT_EQ(serial.ons().updates(), parallel.ons().updates());
+      EXPECT_EQ(serial.ons().unregisters(), parallel.ons().unregisters());
+      EXPECT_EQ(serial.ons().charged_lookups(),
+                parallel.ons().charged_lookups());
+      EXPECT_EQ(serial.ons().cache_hits(), parallel.ons().cache_hits());
+      EXPECT_EQ(serial.ons().size(), parallel.ons().size());
+      ASSERT_EQ(serial.ons().num_shards(), parallel.ons().num_shards());
+      for (int s = 0; s < serial.ons().num_shards(); ++s) {
+        EXPECT_EQ(serial.ons().shard_stats(s).bytes,
+                  parallel.ons().shard_stats(s).bytes)
+            << "shard " << s;
+        EXPECT_EQ(serial.ons().shard_stats(s).charged_lookups,
+                  parallel.ons().shard_stats(s).charged_lookups)
+            << "shard " << s;
+      }
+      for (TagId item : sim.all_items()) {
+        EXPECT_EQ(serial.BelievedContainer(item),
+                  parallel.BelievedContainer(item));
+      }
+    }
+    references.push_back(std::move(reference));
+  }
+
+  // Across shard counts: routing must not change what happens, only where
+  // the directory bytes land. Compare the shard-independent surface of
+  // the serial runs.
+  ASSERT_EQ(references.size(), 2u);
+  const DistributedSystem* single = references[0].get();
+  const DistributedSystem* sharded = references[1].get();
+  EXPECT_EQ(single->snapshots(), sharded->snapshots());
+  ExpectSameAlerts(single->AllAlerts(0), sharded->AllAlerts(0));
+  ExpectSameAlerts(single->AllAlerts(1), sharded->AllAlerts(1));
+  EXPECT_EQ(single->network().total_bytes(),
+            sharded->network().total_bytes());
   for (int k = 0; k < kNumMessageKinds; ++k) {
     const MessageKind kind = static_cast<MessageKind>(k);
-    EXPECT_EQ(serial.network().BytesOfKind(kind),
-              parallel.network().BytesOfKind(kind))
-        << ToString(kind);
-    EXPECT_EQ(serial.network().MessagesOfKind(kind),
-              parallel.network().MessagesOfKind(kind))
+    EXPECT_EQ(single->network().BytesOfKind(kind),
+              sharded->network().BytesOfKind(kind))
         << ToString(kind);
   }
-  for (SiteId a = 0; a < cfg.num_warehouses; ++a) {
-    for (SiteId b = 0; b < cfg.num_warehouses; ++b) {
-      EXPECT_EQ(serial.network().BytesOnLink(a, b),
-                parallel.network().BytesOnLink(a, b))
-          << a << "->" << b;
-    }
-    EXPECT_EQ(serial.network().BytesOnLink(a, kDirectorySite),
-              parallel.network().BytesOnLink(a, kDirectorySite));
-  }
-  EXPECT_GT(serial.network().BytesOfKind(MessageKind::kInferenceState), 0);
-  EXPECT_GT(serial.network().BytesOfKind(MessageKind::kDirectory), 0);
-
-  // Directory state and final beliefs.
-  EXPECT_EQ(serial.ons().updates(), parallel.ons().updates());
-  EXPECT_EQ(serial.ons().unregisters(), parallel.ons().unregisters());
-  EXPECT_EQ(serial.ons().size(), parallel.ons().size());
+  EXPECT_EQ(single->ons().updates(), sharded->ons().updates());
+  EXPECT_EQ(single->ons().charged_lookups(),
+            sharded->ons().charged_lookups());
+  EXPECT_EQ(single->ons().cache_hits(), sharded->ons().cache_hits());
   for (TagId item : sim.all_items()) {
-    EXPECT_EQ(serial.BelievedContainer(item),
-              parallel.BelievedContainer(item));
+    EXPECT_EQ(single->BelievedContainer(item),
+              sharded->BelievedContainer(item));
   }
 }
 
