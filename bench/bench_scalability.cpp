@@ -120,13 +120,19 @@ int Main() {
               std::thread::hardware_concurrency());
   TablePrinter dist_table({"Sites", "Threads", "Wall(s)", "Epochs/s",
                            "Speedup", "Bytes", "Deterministic"});
+  // The replay sweep honors RFID_TRANSPORT, so the same binary measures
+  // the in-process fabric or the loopback socket backend.
+  const std::string transport = ToString(TransportKindFromEnv());
+  std::printf("transport backend: %s\n", transport.c_str());
   FILE* json = std::fopen("BENCH_scalability.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
                  "{\n  \"bench\": \"scalability\",\n"
                  "  \"scale\": %d,\n  \"hardware_concurrency\": %u,\n"
+                 "  \"transport\": \"%s\",\n"
                  "  \"replay\": [\n",
-                 bench::Scale(), std::thread::hardware_concurrency());
+                 bench::Scale(), std::thread::hardware_concurrency(),
+                 transport.c_str());
   }
   bool first_row = true;
   for (int sites : {4, 8}) {

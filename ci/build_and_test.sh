@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# CI entry point: the ROADMAP tier-1 verify, then an ASan/UBSan Debug pass
-# over the unit/integration suite, then a ThreadSanitizer Debug pass over
-# the distributed layer (the parallel site executor and the determinism
-# contract of DistributedSystem::Run).
+# CI entry point: the ROADMAP tier-1 verify, a socket-transport pass over
+# the distributed layer (the same binaries re-run with every Network on
+# the loopback socket backend -- results must be bit-identical), then an
+# ASan/UBSan Debug pass over the unit/integration suite (plus the socket
+# pass under ASan, which also leak-checks the fd/buffer handling), then a
+# ThreadSanitizer Debug pass over the distributed layer (the parallel site
+# executor and the determinism contract of DistributedSystem::Run).
 #
 # Usage: ci/build_and_test.sh [--skip-sanitize]
 set -euo pipefail
@@ -16,6 +19,10 @@ echo "==> Tier-1: Release build + full ctest (tests, bench smoke)"
 cmake -B build -S .
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
+
+echo "==> Socket transport: distributed suites over real loopback sockets"
+(cd build && RFID_TRANSPORT=socket \
+  ctest --output-on-failure -R '^(dist_test|executor_test|frame_test)$')
 
 if [[ "${SKIP_SANITIZE}" == "1" ]]; then
   echo "==> Skipping sanitizer pass (--skip-sanitize)"
@@ -31,6 +38,8 @@ cmake --build build-asan -j "${JOBS}"
 # workloads multiplies runtime without adding memory-safety coverage beyond
 # what the test suite already drives.
 (cd build-asan && ctest --output-on-failure -j "${JOBS}" -LE bench_smoke)
+(cd build-asan && RFID_TRANSPORT=socket \
+  ctest --output-on-failure -R '^(dist_test|executor_test|frame_test)$')
 
 echo "==> Debug + TSan: distributed executor + determinism + ONS tests"
 # TSan and ASan cannot share a build; only the threaded distributed layer

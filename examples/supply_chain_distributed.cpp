@@ -29,9 +29,13 @@ int main() {
               sim.transfers().size(),
               static_cast<long long>(sim.total_readings()));
 
-  // Distributed processing with the paper's CR/collapsed migration.
+  // Distributed processing with the paper's CR/collapsed migration. The
+  // sites talk over the real socket transport here (framed messages
+  // through loopback sockets); RFID_TRANSPORT / DistributedOptions can
+  // flip any run between backends with bit-identical results.
   DistributedOptions migrate;
   migrate.site.migration = MigrationMode::kCollapsed;
+  migrate.transport = TransportKind::kSocket;
   DistributedSystem with_migration(&sim, migrate);
   with_migration.Run();
 
@@ -48,12 +52,14 @@ int main() {
       with_migration.AverageContainmentErrorPercent(),
       without_migration.AverageContainmentErrorPercent());
   std::printf(
-      "migration traffic: %lld bytes in %lld messages "
-      "(%lld bytes inference state)\n",
+      "migration traffic over the %s transport: %lld framed bytes in "
+      "%lld messages (%lld bytes inference state, %lld still in flight)\n",
+      ToString(with_migration.network().transport_kind()).c_str(),
       static_cast<long long>(with_migration.network().total_bytes()),
       static_cast<long long>(with_migration.network().total_messages()),
       static_cast<long long>(with_migration.network().BytesOfKind(
-          MessageKind::kInferenceState)));
+          MessageKind::kInferenceState)),
+      static_cast<long long>(with_migration.network().in_flight_messages()));
 
   // Where is everything right now? Ask the ONS, then the owning site.
   int shown = 0;

@@ -29,6 +29,11 @@ DistributedSystem::DistributedSystem(
       sensors_(sensors) {
   const int num_processors =
       centralized() ? 1 : sim_->config().num_warehouses;
+  // Transport first: the backend must be in place before any frame is
+  // sent. The socket backend binds one loopback listener per processor
+  // (remote sites in centralized mode only ever send, so they need none).
+  network_.ConfigureTransport(options_.transport, num_processors);
+  network_.Configure(options_.network);
   // The centralized baseline has no directory to consult (everything lives
   // at the server), so only the distributed deployment pays ONS traffic.
   if (!centralized()) {
@@ -38,6 +43,7 @@ DistributedSystem::DistributedSystem(
                               : num_processors;
     ons_opts.num_sites = num_processors;
     ons_opts.resolver_cache = options_.directory_cache;
+    ons_opts.cache_ttl = options_.directory_cache_ttl;
     ons_.Configure(ons_opts);
     ons_.AttachNetwork(&network_);
   }
@@ -155,6 +161,17 @@ void DistributedSystem::Run() {
   size_t arr = 0;
   size_t dep = 0;
   for (Epoch t : events) {
+    // -- Serial: advance the wall clocks (send epochs, TTL expiry), then
+    // drain every processor's delivery queue of frames whose arrival
+    // epoch has passed. Messages sent at earlier events were in flight
+    // until now; handlers (HandleMessage) run here, serially, so the
+    // parallel phases below only ever see site-local pending queues.
+    network_.AdvanceClock(t);
+    ons_.AdvanceClock(t);
+    for (SiteId s = 0; s < static_cast<SiteId>(sites_.size()); ++s) {
+      network_.DeliverDue(s, t);
+    }
+
     // -- Serial: ownership + directory bookkeeping due at t.
     while (inj < injections.size() && injections[inj].first <= t) {
       owner_[injections[inj].second] = 0;
@@ -232,6 +249,10 @@ void DistributedSystem::Run() {
                         EncodeReadingBatch(b, options_.site.compress_level));
           b.clear();
         }
+        // With zero link latency the flushed readings are due now; the
+        // server must ingest them before this boundary's inference run
+        // (nonzero latency legitimately defers them to a later drain).
+        network_.DeliverDue(0, t);
       }
     }
 
@@ -256,10 +277,13 @@ void DistributedSystem::Run() {
         // Locate the exporting site through the directory, the way a real
         // deployment resolves an object's current owner; the destination
         // (or, for supply-chain exits, the departing site) is the charged
-        // requester.
-        SiteId from = ons_.Resolve(tr.pallet,
-                                   tr.to != kNoSite ? tr.to : tr.from);
-        if (from == kNoSite) from = tr.from;
+        // requester. The Resolve is wire traffic; the export itself is
+        // driven by the transfer record: with exact invalidation the two
+        // always agree, while a TTL-stale answer may name a *previous*
+        // owner -- which a real deployment handles by chasing that site's
+        // redirect. Either way the state leaves the site that holds it.
+        ons_.Resolve(tr.pallet, tr.to != kNoSite ? tr.to : tr.from);
+        const SiteId from = tr.from;
         if (from >= 0 && from < static_cast<SiteId>(sites_.size())) {
           sites_[static_cast<size_t>(from)]->ExportTransfer(tr);
         }
@@ -278,7 +302,7 @@ void DistributedSystem::Run() {
     // Sample accuracy whenever inference ran, and always at the horizon:
     // when the horizon is not a multiple of the inference period the final
     // stretch of the run would otherwise never be measured.
-    if (any_ran || t == horizon) RecordSnapshot(t);
+    if (any_ran || t == horizon) RecordSnapshot(t, &executor);
   }
 }
 
@@ -297,12 +321,37 @@ TagId DistributedSystem::BelievedContainer(TagId object) const {
   return site == nullptr ? kNoTag : site->BelievedContainer(object);
 }
 
-void DistributedSystem::RecordSnapshot(Epoch t) {
+void DistributedSystem::RecordSnapshot(Epoch t, SiteExecutor* executor) {
   const GroundTruth& truth = sim_->truth();
+  const std::vector<TagId>& items = sim_->all_items();
+  // Fan the per-item scan across the executor pool: every evaluation is
+  // read-only (ground-truth intervals, owner map, site beliefs), and the
+  // per-chunk integer counts sum exactly, so the sampled percentage is
+  // bit-identical to the serial scan for any thread or chunk count.
+  const size_t n = items.size();
+  const size_t num_chunks =
+      executor == nullptr || executor->serial() || n == 0
+          ? 1
+          : std::min(n, static_cast<size_t>(executor->num_threads()) * 4);
   ErrorRate err;
-  for (TagId item : sim_->all_items()) {
-    if (!truth.PresentAt(item, t)) continue;
-    err.Add(BelievedContainer(item) == truth.ContainerAt(item, t));
+  if (num_chunks <= 1) {
+    for (TagId item : items) {
+      if (!truth.PresentAt(item, t)) continue;
+      err.Add(BelievedContainer(item) == truth.ContainerAt(item, t));
+    }
+  } else {
+    std::vector<ErrorRate> partial(num_chunks);
+    executor->Run(num_chunks, [&](size_t chunk) {
+      const size_t begin = chunk * n / num_chunks;
+      const size_t end = (chunk + 1) * n / num_chunks;
+      ErrorRate& local = partial[chunk];
+      for (size_t i = begin; i < end; ++i) {
+        const TagId item = items[i];
+        if (!truth.PresentAt(item, t)) continue;
+        local.Add(BelievedContainer(item) == truth.ContainerAt(item, t));
+      }
+    });
+    for (const ErrorRate& p : partial) err.AddCounts(p.errors(), p.total());
   }
   snapshots_.push_back(ErrorSnapshot{t, err.Percent()});
 }

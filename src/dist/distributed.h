@@ -23,14 +23,18 @@
 // driver precomputes every epoch at which anything can happen (injections,
 // transfer departures/arrivals, inference boundaries, flushes) and walks
 // only those events; between events each site's window of readings is
-// ingested in one batched call. Per-site work (DeliverArrivals +
-// ObserveBatch, then AdvanceTo at boundaries) fans out across a
+// ingested in one batched call. At each event the driver first advances
+// the Network/ONS clocks and serially drains every site's delivery queue
+// of frames whose arrival epoch has passed (Network::DeliverDue --
+// messages sent at earlier events are in flight until this point, however
+// the transport backend carried them). Per-site work (DeliverArrivals +
+// ObserveBatch, then AdvanceTo at boundaries) then fans out across a
 // SiteExecutor worker pool and joins before the serial boundary phase (ONS
 // shard updates/resolves, ExportTransfer, Network::Send, accuracy
 // snapshots). Because parallel work touches only site-local state and all
-// cross-site effects -- including every sharded-directory mutation and
-// cache fill -- are serial, results are bit-identical for every
-// num_threads (and directory_shards) value.
+// cross-site effects -- including every sharded-directory mutation, cache
+// fill, and frame drain -- are serial, results are bit-identical for every
+// num_threads (and directory_shards, and transport backend) value.
 #ifndef RFID_DIST_DISTRIBUTED_H_
 #define RFID_DIST_DISTRIBUTED_H_
 
@@ -58,6 +62,16 @@ std::string ToString(ProcessingMode mode);
 struct DistributedOptions {
   ProcessingMode mode = ProcessingMode::kDistributed;
   SiteOptions site;
+  /// Transport backend carrying every framed message: the in-process
+  /// fabric or real loopback sockets (dist/transport_socket.h). Defaults
+  /// to the RFID_TRANSPORT environment variable ("socket" selects the
+  /// socket backend), so whole test binaries can be re-run against real
+  /// sockets. Results are bit-identical across backends.
+  TransportKind transport = TransportKindFromEnv();
+  /// Per-link latency model (arrival epoch = send epoch + latency).
+  /// Default all-zero: messages are deliverable at the boundary of the
+  /// epoch they were sent, the pre-transport synchronous semantics.
+  NetworkOptions network;
   /// Instantiate Q1/Q2 at every site (requires a catalog and sensor stream
   /// at construction).
   bool attach_queries = false;
@@ -74,6 +88,12 @@ struct DistributedOptions {
   /// Per-site resolver caching of directory lookups (invalidated on
   /// moves); repeat resolutions of an unmoved object cost zero wire bytes.
   bool directory_cache = true;
+  /// TTL-based resolver-cache expiry in epochs (OnsOptions::cache_ttl);
+  /// 0 = exact invalidation. Nonzero values trade staleness for DNS
+  /// fidelity; the replay tolerates it because exports are driven by the
+  /// transfer record (a stale directory answer costs the same wire bytes
+  /// but never mis-routes the state).
+  Epoch directory_cache_ttl = 0;
 };
 
 /// Drives a finished simulation through the distributed (or centralized)
@@ -141,7 +161,11 @@ class DistributedSystem {
     return options_.mode == ProcessingMode::kCentralized;
   }
   Site* OwnerSite(TagId object) const;
-  void RecordSnapshot(Epoch t);
+  /// Samples containment accuracy at `t`. The per-item scan fans out
+  /// across `executor` (read-only against site state; integer error
+  /// counts merge associatively, so results stay bit-identical at any
+  /// thread count).
+  void RecordSnapshot(Epoch t, SiteExecutor* executor);
 
   const SupplyChainSim* sim_;
   DistributedOptions options_;

@@ -1,27 +1,156 @@
 #include "dist/network.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "dist/transport_socket.h"
 
 namespace rfid {
+
+std::string ToString(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInProcess:
+      return "in_process";
+    case TransportKind::kSocket:
+      return "socket";
+  }
+  return "unknown";
+}
+
+TransportKind TransportKindFromEnv() {
+  const char* env = std::getenv("RFID_TRANSPORT");
+  if (env != nullptr && std::strcmp(env, "socket") == 0) {
+    return TransportKind::kSocket;
+  }
+  return TransportKind::kInProcess;
+}
+
+// ---- InProcessTransport ----
+
+size_t InProcessTransport::Send(Frame frame) {
+  const size_t wire = FrameWireSize(frame.payload.size());
+  queues_[frame.to].push_back(std::move(frame));
+  return wire;
+}
+
+void InProcessTransport::Drain(SiteId site, std::vector<Frame>* out) {
+  auto it = queues_.find(site);
+  if (it == queues_.end()) return;
+  out->insert(out->end(), std::make_move_iterator(it->second.begin()),
+              std::make_move_iterator(it->second.end()));
+  it->second.clear();
+}
+
+// ---- Network ----
+
+Network::Network() : transport_(std::make_unique<InProcessTransport>()) {}
+
+Network::~Network() = default;
+
+void Network::ConfigureTransport(TransportKind kind, int num_sites) {
+  RFID_CHECK_OK(in_flight_messages_ == 0
+                    ? Status::OK()
+                    : Status::Internal("ConfigureTransport with frames in "
+                                       "flight would strand them"));
+  transport_kind_ = kind;
+  switch (kind) {
+    case TransportKind::kInProcess:
+      transport_ = std::make_unique<InProcessTransport>();
+      break;
+    case TransportKind::kSocket:
+      transport_ = std::make_unique<SocketTransport>(num_sites);
+      break;
+  }
+}
+
+void Network::Configure(NetworkOptions options) {
+  RFID_CHECK_OK(in_flight_messages_ == 0
+                    ? Status::OK()
+                    : Status::Internal("Configure with frames in flight "
+                                       "would reschedule them"));
+  options_ = std::move(options);
+}
 
 void Network::RegisterHandler(SiteId site, MessageHandler handler) {
   handlers_[site] = std::move(handler);
 }
 
+Epoch Network::LatencyOf(SiteId from, SiteId to, size_t wire_bytes) const {
+  Epoch latency = options_.link_base ? options_.link_base(from, to)
+                                     : options_.latency_base;
+  if (options_.latency_per_kib > 0) {
+    latency += options_.latency_per_kib *
+               static_cast<Epoch>((wire_bytes + 1023) / 1024);
+  }
+  return latency < 0 ? 0 : latency;
+}
+
 size_t Network::Send(SiteId from, SiteId to, MessageKind kind,
                      const std::vector<uint8_t>& payload) {
-  const int64_t n = static_cast<int64_t>(payload.size());
+  Frame frame;
+  frame.from = from;
+  frame.to = to;
+  frame.kind = kind;
+  frame.send_epoch = now_;
+  frame.seq = next_seq_++;
+  frame.payload = payload;
+  const size_t wire = transport_->Send(std::move(frame));
+  RFID_CHECK_OK(wire == FrameWireSize(payload.size())
+                    ? Status::OK()
+                    : Status::Internal("transport wire size disagrees with "
+                                       "the frame codec"));
+  const int64_t n = static_cast<int64_t>(wire);
   link_bytes_[LinkKey(from, to)] += n;
   link_messages_[LinkKey(from, to)] += 1;
   kind_bytes_[static_cast<size_t>(kind)] += n;
   kind_messages_[static_cast<size_t>(kind)] += 1;
   total_bytes_ += n;
   total_messages_ += 1;
-  auto it = handlers_.find(to);
-  if (it != handlers_.end() && it->second) {
-    it->second(from, kind, payload);
+  in_flight_bytes_ += n;
+  in_flight_messages_ += 1;
+  return wire;
+}
+
+int Network::DeliverDue(SiteId site, Epoch now) {
+  // Pull everything the transport has for this site, stamp arrival epochs,
+  // and merge into the site's pending queue. The transport may hand frames
+  // back in any order; (arrive, seq) restores the deterministic total
+  // order.
+  std::vector<Frame> drained;
+  transport_->Drain(site, &drained);
+  if (!drained.empty()) {
+    ArrivalQueue& q = pending_[site];
+    for (Frame& f : drained) {
+      const Epoch arrive =
+          f.send_epoch +
+          LatencyOf(f.from, f.to, FrameWireSize(f.payload.size()));
+      q.push(QueuedFrame{arrive, std::move(f)});
+    }
   }
-  return payload.size();
+  auto it = pending_.find(site);
+  if (it == pending_.end()) return 0;
+  ArrivalQueue& q = it->second;
+  int delivered = 0;
+  auto handler_it = handlers_.find(site);
+  MessageHandler* handler =
+      handler_it != handlers_.end() && handler_it->second
+          ? &handler_it->second
+          : nullptr;
+  while (!q.empty() && q.top().arrive <= now) {
+    const QueuedFrame& top = q.top();
+    in_flight_messages_ -= 1;
+    in_flight_bytes_ -=
+        static_cast<int64_t>(FrameWireSize(top.frame.payload.size()));
+    if (handler != nullptr) {
+      (*handler)(top.frame.from, top.frame.kind, top.frame.payload);
+    }
+    q.pop();
+    ++delivered;
+  }
+  return delivered;
 }
 
 int64_t Network::BytesOnLink(SiteId from, SiteId to) const {
@@ -41,20 +170,8 @@ void Network::ResetCounters() {
   for (int64_t& m : kind_messages_) m = 0;
   total_bytes_ = 0;
   total_messages_ = 0;
-}
-
-std::string ToString(MessageKind kind) {
-  switch (kind) {
-    case MessageKind::kRawReadings:
-      return "raw_readings";
-    case MessageKind::kInferenceState:
-      return "inference_state";
-    case MessageKind::kQueryState:
-      return "query_state";
-    case MessageKind::kDirectory:
-      return "directory";
-  }
-  return "unknown";
+  // in_flight_{bytes,messages}_ are live queue gauges, not history: a
+  // frame still in the transport stays in flight across a counter reset.
 }
 
 }  // namespace rfid

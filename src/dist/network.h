@@ -1,38 +1,41 @@
-// In-process message fabric connecting site processors (Section 5.2's
-// emulated deployment): synchronous delivery to per-site handlers plus the
-// byte/message accounting behind Table 5 and Figures 5(e)/5(f).
+// The message fabric connecting site processors (Section 5.2's deployment):
+// a pluggable Transport carrying framed wire messages (dist/frame.h) into
+// per-destination delivery queues, plus the byte/message accounting behind
+// Table 5 and Figures 5(e)/5(f).
 //
-// Every Send is charged -- per (from, to) link, per message kind, and in
-// total -- whether or not the destination registered a handler, because the
-// paper's communication-cost numbers count bytes put on the wire, not bytes
-// usefully consumed. The fabric itself is transport-only; payload encodings
-// live with the senders (dist/site.h).
+// Every Send frames its payload and charges the *framed* wire size -- per
+// (from, to) link, per message kind, and in total -- whether or not the
+// destination registered a handler, because the paper's communication-cost
+// numbers count bytes put on the wire, not bytes usefully consumed.
+// Delivery is asynchronous: a sent frame is in flight until the replay's
+// serial boundary phase drains it with DeliverDue, at the arrival epoch the
+// link latency model assigns (send epoch + latency; zero latency by
+// default, i.e. deliverable at the boundary of the epoch it was sent).
+//
+// Two backends implement Transport:
+//   - the in-process fabric (default): frames queue in memory;
+//   - SocketTransport (dist/transport_socket.h): each site owns a loopback
+//     listener and encoded frames actually cross the kernel.
+// Both charge identically (the frame header is fixed-width, so wire size
+// depends only on payload length) and both deliver in (arrival epoch,
+// global send sequence) order, so alerts, accuracy, and byte totals are
+// bit-identical across backends -- enforced by executor_test's
+// DeterminismTest and frame_test's cross-backend accounting check.
 #ifndef RFID_DIST_NETWORK_H_
 #define RFID_DIST_NETWORK_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "dist/frame.h"
 
 namespace rfid {
-
-/// Message classes the distributed experiments account separately: raw
-/// readings (the centralized baseline), collapsed/full inference state
-/// (Section 4.1), per-object query state (Section 4.2), and ONS directory
-/// traffic (registrations, moves, and lookups -- the "similar to a DNS
-/// service" load of Section 5.2, charged per (site, shard host) link since
-/// the directory was sharded across sites; see dist/ons.h).
-enum class MessageKind : uint8_t {
-  kRawReadings = 0,
-  kInferenceState = 1,
-  kQueryState = 2,
-  kDirectory = 3,
-};
-
-inline constexpr int kNumMessageKinds = 4;
 
 /// Synthetic node id hosting ONS directory shards when the Ons knows no
 /// hosting sites (OnsOptions::num_sites == 0, e.g. standalone unit tests).
@@ -47,27 +50,126 @@ using MessageHandler =
     std::function<void(SiteId from, MessageKind kind,
                        const std::vector<uint8_t>& payload)>;
 
-/// The in-process network. Send delivers synchronously to the destination's
-/// handler before returning. The fabric is unsynchronized by design: under
-/// the bulk-synchronous executor (dist/executor.h) every Send happens in a
-/// serial boundary phase -- never concurrently with per-site parallel work
-/// -- which keeps the per-link/per-kind accounting race-free without locks.
+/// Which Transport backend a Network (or a DistributedSystem) uses.
+enum class TransportKind : uint8_t {
+  kInProcess = 0,
+  kSocket = 1,
+};
+
+std::string ToString(TransportKind kind);
+
+/// Backend selected by the RFID_TRANSPORT environment variable ("socket"
+/// -> kSocket; anything else, or unset -> kInProcess). The default for
+/// DistributedOptions::transport, so CI can flip whole test binaries onto
+/// the socket backend without code changes.
+TransportKind TransportKindFromEnv();
+
+/// A message transport: accepts frames for queued delivery and hands back
+/// every frame addressed to a site on request. Implementations need no
+/// internal ordering guarantees beyond per-(from, to) FIFO; the Network
+/// restores a deterministic total order from the frames' global sequence
+/// numbers. All calls happen from the replay's serial phases -- transports
+/// are single-threaded by contract.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues `frame` for delivery to `frame.to` (taken by value so
+  /// backends can move it straight into their queues). Returns the
+  /// frame's wire size (must equal FrameWireSize(frame.payload.size())).
+  virtual size_t Send(Frame frame) = 0;
+
+  /// Appends every frame currently deliverable to `site` onto `*out`
+  /// (in unspecified order) and removes them from the transport.
+  virtual void Drain(SiteId site, std::vector<Frame>* out) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The default backend: frames queue in per-destination in-memory FIFOs.
+/// No bytes cross the kernel, but the accounting and delivery semantics
+/// are identical to the socket backend's.
+class InProcessTransport : public Transport {
+ public:
+  size_t Send(Frame frame) override;
+  void Drain(SiteId site, std::vector<Frame>* out) override;
+  std::string name() const override { return "in_process"; }
+
+ private:
+  std::unordered_map<SiteId, std::vector<Frame>> queues_;
+};
+
+/// Per-link latency model assigning arrival epochs: a frame sent at epoch
+/// t over link (from, to) with wire size b arrives at
+///   t + base(from, to) + per_kib * ceil(b / 1024)
+/// where base is `link_base(from, to)` when set, else `latency_base`.
+/// The default (all zero) makes every frame deliverable at the boundary of
+/// the epoch it was sent -- the pre-transport synchronous semantics.
+struct NetworkOptions {
+  Epoch latency_base = 0;
+  Epoch latency_per_kib = 0;
+  /// Optional per-link override of latency_base. Must be deterministic:
+  /// arrival epochs feed the bit-identical replay contract.
+  std::function<Epoch(SiteId from, SiteId to)> link_base;
+};
+
+/// The byte-accounted message fabric. Owns a Transport backend and the
+/// per-destination arrival queues. Unsynchronized by design: under the
+/// bulk-synchronous executor (dist/executor.h) every Send and DeliverDue
+/// happens in a serial boundary phase -- never concurrently with per-site
+/// parallel work -- which keeps the per-link/per-kind accounting race-free
+/// without locks.
 class Network {
  public:
-  Network() = default;
+  /// In-process backend, zero-latency links.
+  Network();
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Swaps in a backend. `num_sites` is how many destinations need
+  /// listeners (the socket backend binds one per site). Must not be
+  /// called while frames are in flight -- they would be stranded in the
+  /// old backend (checked).
+  void ConfigureTransport(TransportKind kind, int num_sites);
+
+  /// Sets the link latency model. Arrival epochs are computed as frames
+  /// are drained from the transport, so the model must be in place before
+  /// anything is in flight (checked): reconfiguring mid-flight would
+  /// retroactively reschedule already-sent frames.
+  void Configure(NetworkOptions options);
+
+  /// Advances the send clock: subsequent Sends carry `now` as their send
+  /// epoch. The replay calls this once per event epoch.
+  void AdvanceClock(Epoch now) { now_ = now; }
+  Epoch now() const { return now_; }
 
   /// Installs the handler for messages addressed to `site`, replacing any
-  /// existing one.
+  /// existing one. Handlers run inside DeliverDue, not inside Send.
   void RegisterHandler(SiteId site, MessageHandler handler);
 
-  /// Transmits `payload` from `from` to `to`. The payload is charged to the
-  /// (from, to) link and the kind counter even when `to` has no handler.
-  /// Returns the number of bytes charged (the payload size).
+  /// Frames `payload` and queues it from `from` to `to` with the current
+  /// clock as send epoch. The framed wire size (header + payload +
+  /// checksum) is charged to the (from, to) link and the kind counter even
+  /// when `to` has no handler. Returns the wire bytes charged.
   size_t Send(SiteId from, SiteId to, MessageKind kind,
               const std::vector<uint8_t>& payload);
 
+  /// Drains every frame addressed to `site` whose arrival epoch is <= now
+  /// into `site`'s handler, in (arrival epoch, send sequence) order.
+  /// Frames not yet due stay queued (in flight). Returns frames delivered.
+  int DeliverDue(SiteId site, Epoch now);
+
   int64_t total_bytes() const { return total_bytes_; }
   int64_t total_messages() const { return total_messages_; }
+
+  /// Frames sent but not yet delivered to a handler (still inside the
+  /// transport or queued with a future arrival epoch) -- the
+  /// transfers-in-flight state of the replay. Live state, not history:
+  /// unlike the byte/message totals, ResetCounters leaves it intact.
+  int64_t in_flight_messages() const { return in_flight_messages_; }
+  int64_t in_flight_bytes() const { return in_flight_bytes_; }
 
   /// Bytes sent over the directed link from -> to.
   int64_t BytesOnLink(SiteId from, SiteId to) const;
@@ -82,25 +184,54 @@ class Network {
     return kind_messages_[static_cast<size_t>(kind)];
   }
 
-  /// Zeroes every counter; handlers stay registered.
+  TransportKind transport_kind() const { return transport_kind_; }
+  const Transport& transport() const { return *transport_; }
+
+  /// Zeroes every traffic counter; handlers, queued frames, the clock,
+  /// and the in-flight gauges (which describe live queue state) stay.
   void ResetCounters();
 
  private:
+  struct QueuedFrame {
+    Epoch arrive = 0;
+    Frame frame;
+  };
+  struct LaterArrival {
+    bool operator()(const QueuedFrame& a, const QueuedFrame& b) const {
+      if (a.arrive != b.arrive) return a.arrive > b.arrive;
+      return a.frame.seq > b.frame.seq;
+    }
+  };
+  using ArrivalQueue =
+      std::priority_queue<QueuedFrame, std::vector<QueuedFrame>,
+                          LaterArrival>;
+
   static uint64_t LinkKey(SiteId from, SiteId to) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
            static_cast<uint32_t>(to);
   }
 
+  Epoch LatencyOf(SiteId from, SiteId to, size_t wire_bytes) const;
+
+  std::unique_ptr<Transport> transport_;
+  TransportKind transport_kind_ = TransportKind::kInProcess;
+  NetworkOptions options_;
+  Epoch now_ = 0;
+  uint64_t next_seq_ = 0;
+
   std::unordered_map<SiteId, MessageHandler> handlers_;
+  /// Frames drained from the transport but not yet due for delivery.
+  std::unordered_map<SiteId, ArrivalQueue> pending_;
+
   std::unordered_map<uint64_t, int64_t> link_bytes_;
   std::unordered_map<uint64_t, int64_t> link_messages_;
   int64_t kind_bytes_[kNumMessageKinds] = {};
   int64_t kind_messages_[kNumMessageKinds] = {};
   int64_t total_bytes_ = 0;
   int64_t total_messages_ = 0;
+  int64_t in_flight_bytes_ = 0;
+  int64_t in_flight_messages_ = 0;
 };
-
-std::string ToString(MessageKind kind);
 
 }  // namespace rfid
 

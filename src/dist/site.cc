@@ -342,9 +342,10 @@ void Site::HandleMessage(SiteId from, MessageKind kind,
       break;
     }
     case MessageKind::kDirectory:
-      // Directory shards are hosted at sites for the byte accounting, but
-      // their payloads are consumed in-process by the Ons; the site itself
-      // only carries the charge.
+      // Directory shards are hosted at sites for the byte accounting, and
+      // their frames ride the same transport (and delivery queues) as
+      // state migration -- but the payloads are consumed in-process by
+      // the Ons; the site itself only carries the charge.
       break;
   }
 }

@@ -76,8 +76,9 @@ struct PendingQueryState {
 /// order. The site itself is unsynchronized: under the bulk-synchronous
 /// executor, Observe/ObserveBatch/AdvanceTo/DeliverArrivals run inside
 /// parallel windows (at most one thread per site at a time), while every
-/// method that crosses sites -- ExportTransfer, HandleMessage, Retire --
-/// is only invoked from the serial boundary phase between windows.
+/// method that crosses sites -- ExportTransfer, Retire, and HandleMessage
+/// (invoked by Network::DeliverDue when a queued frame's arrival epoch
+/// passes) -- only runs from the serial phases between windows.
 class Site {
  public:
   /// `model`, `schedule`, and `network` must outlive the site. The model

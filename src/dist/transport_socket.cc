@@ -1,0 +1,190 @@
+#include "dist/transport_socket.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rfid {
+
+namespace {
+
+/// Distinguishes concurrently-live transports within one process so their
+/// abstract socket names never collide.
+std::atomic<uint64_t> g_instance_counter{0};
+
+[[noreturn]] void FatalErrno(const char* what) {
+  RFID_CHECK_OK(Status::IOError(std::string(what) + ": " + strerror(errno)));
+  // RFID_CHECK_OK aborts on non-OK; unreachable.
+  std::abort();
+}
+
+/// Fills an abstract-namespace sockaddr_un ('\0' + name) and returns the
+/// address length to pass to bind/connect.
+socklen_t AbstractAddr(const std::string& name, sockaddr_un* addr) {
+  memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  // sun_path[0] stays '\0': Linux abstract namespace, auto-cleaned on
+  // close, never touches the filesystem.
+  const size_t n = std::min(name.size(), sizeof(addr->sun_path) - 1);
+  memcpy(addr->sun_path + 1, name.data(), n);
+  return static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + 1 + n);
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(int num_sites)
+    : instance_(g_instance_counter.fetch_add(1)) {
+  if (num_sites < 0) num_sites = 0;
+  listeners_.reserve(static_cast<size_t>(num_sites));
+  accepted_.resize(static_cast<size_t>(num_sites));
+  parsed_.resize(static_cast<size_t>(num_sites));
+  for (int site = 0; site < num_sites; ++site) {
+    const int fd =
+        socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) FatalErrno("socket(listener)");
+    sockaddr_un addr;
+    const socklen_t len = AbstractAddr(ListenerName(site), &addr);
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), len) != 0) {
+      FatalErrno("bind(listener)");
+    }
+    if (listen(fd, 128) != 0) FatalErrno("listen");
+    listeners_.push_back(fd);
+  }
+}
+
+SocketTransport::~SocketTransport() {
+  for (auto& [key, fd] : out_fds_) close(fd);
+  for (auto& conns : accepted_) {
+    for (Conn& c : conns) close(c.fd);
+  }
+  for (int fd : listeners_) close(fd);
+}
+
+std::string SocketTransport::ListenerName(int site) const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "rfid-net-%d-%llu-%d",
+                static_cast<int>(getpid()),
+                static_cast<unsigned long long>(instance_), site);
+  return buf;
+}
+
+int SocketTransport::GetOrConnect(SiteId from, SiteId to) {
+  auto it = out_fds_.find(LinkKey(from, to));
+  if (it != out_fds_.end()) return it->second;
+  const int fd =
+      socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) FatalErrno("socket(out)");
+  sockaddr_un addr;
+  const socklen_t len = AbstractAddr(ListenerName(to), &addr);
+  // AF_UNIX connect to a listening socket completes immediately (no
+  // handshake); EAGAIN only when the backlog overflows, which 128 pending
+  // connections from < 128 peer sites cannot.
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), len) != 0) {
+    FatalErrno("connect");
+  }
+  out_fds_.emplace(LinkKey(from, to), fd);
+  return fd;
+}
+
+size_t SocketTransport::Send(Frame frame) {
+  const size_t wire = FrameWireSize(frame.payload.size());
+  if (frame.to < 0 || frame.to >= num_sites()) {
+    local_[frame.to].push_back(std::move(frame));
+    return wire;
+  }
+  const int fd = GetOrConnect(frame.from, frame.to);
+  encode_buf_.clear();
+  EncodeFrame(frame, &encode_buf_);
+  size_t written = 0;
+  while (written < encode_buf_.size()) {
+    const ssize_t n = write(fd, encode_buf_.data() + written,
+                            encode_buf_.size() - written);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Receive buffer full: play the remote reader ourselves -- drain the
+      // destination's sockets into user-space frames, freeing kernel
+      // buffer space, then finish the write.
+      Pump(frame.to);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    FatalErrno("write(frame)");
+  }
+  return wire;
+}
+
+void SocketTransport::Pump(int site) {
+  // Accept every connection waiting on this site's listener...
+  while (true) {
+    const int fd = accept4(listeners_[static_cast<size_t>(site)], nullptr,
+                           nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      FatalErrno("accept4");
+    }
+    accepted_[static_cast<size_t>(site)].push_back(Conn{fd, {}});
+  }
+  // ...then read everything available and decode complete frames.
+  uint8_t chunk[65536];
+  for (Conn& conn : accepted_[static_cast<size_t>(site)]) {
+    while (true) {
+      const ssize_t n = read(conn.fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        conn.buf.insert(conn.buf.end(), chunk, chunk + n);
+        continue;
+      }
+      if (n == 0) break;  // peer closed; whole frames already buffered
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      FatalErrno("read(frame)");
+    }
+    size_t pos = 0;
+    while (pos < conn.buf.size()) {
+      Frame frame;
+      size_t consumed = 0;
+      const Status st = DecodeFrame(conn.buf.data() + pos,
+                                    conn.buf.size() - pos, &frame, &consumed);
+      if (FrameIncomplete(st)) break;
+      // Corruption inside one process is a codec or transport bug, never
+      // recoverable input.
+      RFID_CHECK_OK(st);
+      pos += consumed;
+      parsed_[static_cast<size_t>(site)].push_back(std::move(frame));
+    }
+    if (pos > 0) {
+      conn.buf.erase(conn.buf.begin(),
+                     conn.buf.begin() + static_cast<long>(pos));
+    }
+  }
+}
+
+void SocketTransport::Drain(SiteId site, std::vector<Frame>* out) {
+  if (site >= 0 && site < num_sites()) {
+    Pump(site);
+    std::vector<Frame>& ready = parsed_[static_cast<size_t>(site)];
+    out->insert(out->end(), std::make_move_iterator(ready.begin()),
+                std::make_move_iterator(ready.end()));
+    ready.clear();
+  }
+  auto it = local_.find(site);
+  if (it != local_.end()) {
+    out->insert(out->end(), std::make_move_iterator(it->second.begin()),
+                std::make_move_iterator(it->second.end()));
+    it->second.clear();
+  }
+}
+
+}  // namespace rfid

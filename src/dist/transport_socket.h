@@ -1,0 +1,78 @@
+// Loopback socket backend for the Network (ROADMAP "real socket backend"):
+// every site owns a listening Unix-domain stream socket (Linux abstract
+// namespace, so no filesystem paths to clean up), senders connect lazily
+// -- one connection per directed (from, to) link, preserving per-link FIFO
+// -- and every frame is encoded by dist/frame.h, written through the
+// kernel, and re-decoded (checksum verified) on the receiving side.
+//
+// The backend is single-threaded by the Transport contract: Send and Drain
+// only run in the replay's serial phases. Deadlock with full socket
+// buffers is impossible because a blocked Send pumps the destination's
+// receive side (accepting connections and buffering frames in user space)
+// until the kernel accepts the rest of the write -- sender and receiver
+// live in the same process, so the "remote" reader is always available.
+//
+// Frames addressed outside [0, num_sites) -- e.g. the synthetic
+// kDirectorySite of an unhosted ONS -- fall back to an in-memory queue:
+// there is no listener to carry them, but accounting and delivery must
+// stay identical to the in-process backend.
+#ifndef RFID_DIST_TRANSPORT_SOCKET_H_
+#define RFID_DIST_TRANSPORT_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/network.h"
+
+namespace rfid {
+
+class SocketTransport : public Transport {
+ public:
+  /// Binds one loopback listener per site in [0, num_sites). Aborts on
+  /// socket setup failure (unrecoverable environment problem).
+  explicit SocketTransport(int num_sites);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  size_t Send(Frame frame) override;
+  void Drain(SiteId site, std::vector<Frame>* out) override;
+  std::string name() const override { return "socket"; }
+
+  int num_sites() const { return static_cast<int>(listeners_.size()); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::vector<uint8_t> buf;  ///< Reassembly buffer of partial frames.
+  };
+
+  /// Abstract-namespace address of `site`'s listener for this transport
+  /// instance (unique per process + instance).
+  std::string ListenerName(int site) const;
+  /// Accepts pending connections on `site`'s listener and reads every
+  /// available byte, decoding complete frames into parsed_[site].
+  void Pump(int site);
+  int GetOrConnect(SiteId from, SiteId to);
+
+  static uint64_t LinkKey(SiteId from, SiteId to) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+           static_cast<uint32_t>(to);
+  }
+
+  uint64_t instance_ = 0;
+  std::vector<int> listeners_;
+  std::vector<std::vector<Conn>> accepted_;  ///< Per destination site.
+  std::vector<std::vector<Frame>> parsed_;   ///< Drained but unclaimed.
+  std::unordered_map<uint64_t, int> out_fds_;
+  /// Destinations with no listener (kDirectorySite etc.).
+  std::unordered_map<SiteId, std::vector<Frame>> local_;
+  std::vector<uint8_t> encode_buf_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_DIST_TRANSPORT_SOCKET_H_

@@ -10,6 +10,7 @@
 
 #include "common/metrics.h"
 #include "dist/distributed.h"
+#include "dist/frame.h"
 #include "dist/network.h"
 #include "dist/ons.h"
 #include "dist/site.h"
@@ -19,7 +20,7 @@
 namespace rfid {
 namespace {
 
-TEST(NetworkTest, AccountsBytesPerLinkAndKind) {
+TEST(NetworkTest, AccountsFramedBytesPerLinkAndKind) {
   Network net;
   int received = 0;
   net.RegisterHandler(1, [&](SiteId from, MessageKind kind,
@@ -29,14 +30,23 @@ TEST(NetworkTest, AccountsBytesPerLinkAndKind) {
     EXPECT_EQ(kind, MessageKind::kInferenceState);
     EXPECT_EQ(payload.size(), 3u);
   });
+  // Every payload travels framed: the charge is header + payload + crc.
+  const int64_t wire = static_cast<int64_t>(FrameWireSize(3));
   size_t n = net.Send(0, 1, MessageKind::kInferenceState, {1, 2, 3});
-  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(n, FrameWireSize(3));
+  // Delivery is queued, not synchronous: the handler runs at drain time.
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.in_flight_messages(), 1);
+  EXPECT_EQ(net.in_flight_bytes(), wire);
+  EXPECT_EQ(net.DeliverDue(1, net.now()), 1);
   EXPECT_EQ(received, 1);
-  EXPECT_EQ(net.total_bytes(), 3);
+  EXPECT_EQ(net.in_flight_messages(), 0);
+  EXPECT_EQ(net.in_flight_bytes(), 0);
+  EXPECT_EQ(net.total_bytes(), wire);
   EXPECT_EQ(net.total_messages(), 1);
-  EXPECT_EQ(net.BytesOnLink(0, 1), 3);
+  EXPECT_EQ(net.BytesOnLink(0, 1), wire);
   EXPECT_EQ(net.BytesOnLink(1, 0), 0);
-  EXPECT_EQ(net.BytesOfKind(MessageKind::kInferenceState), 3);
+  EXPECT_EQ(net.BytesOfKind(MessageKind::kInferenceState), wire);
   EXPECT_EQ(net.BytesOfKind(MessageKind::kQueryState), 0);
   net.ResetCounters();
   EXPECT_EQ(net.total_bytes(), 0);
@@ -45,7 +55,51 @@ TEST(NetworkTest, AccountsBytesPerLinkAndKind) {
 TEST(NetworkTest, UnregisteredDestinationStillCharged) {
   Network net;
   net.Send(0, 5, MessageKind::kRawReadings, {1, 2});
-  EXPECT_EQ(net.total_bytes(), 2);
+  EXPECT_EQ(net.total_bytes(), static_cast<int64_t>(FrameWireSize(2)));
+}
+
+TEST(NetworkTest, LatencyModelAssignsArrivalEpochs) {
+  Network net;
+  NetworkOptions opts;
+  opts.latency_base = 5;
+  net.Configure(opts);
+  std::vector<SiteId> senders;
+  net.RegisterHandler(1, [&](SiteId from, MessageKind,
+                             const std::vector<uint8_t>&) {
+    senders.push_back(from);
+  });
+  net.AdvanceClock(10);
+  net.Send(0, 1, MessageKind::kQueryState, {1});
+  net.AdvanceClock(12);
+  net.Send(2, 1, MessageKind::kQueryState, {2});
+  // Sent at 10 and 12 with base latency 5: due at 15 and 17.
+  EXPECT_EQ(net.DeliverDue(1, 14), 0);
+  EXPECT_EQ(net.in_flight_messages(), 2);
+  EXPECT_EQ(net.DeliverDue(1, 15), 1);
+  ASSERT_EQ(senders.size(), 1u);
+  EXPECT_EQ(senders[0], 0);
+  EXPECT_EQ(net.DeliverDue(1, 16), 0);
+  EXPECT_EQ(net.DeliverDue(1, 17), 1);
+  ASSERT_EQ(senders.size(), 2u);
+  EXPECT_EQ(senders[1], 2);
+  EXPECT_EQ(net.in_flight_messages(), 0);
+  // A per-link override takes precedence over the base.
+  NetworkOptions linkopts;
+  linkopts.latency_base = 5;
+  linkopts.link_base = [](SiteId from, SiteId) -> Epoch {
+    return from == 0 ? 0 : 5;
+  };
+  Network net2;
+  net2.Configure(linkopts);
+  int delivered = 0;
+  net2.RegisterHandler(1, [&](SiteId, MessageKind,
+                              const std::vector<uint8_t>&) { ++delivered; });
+  net2.AdvanceClock(10);
+  net2.Send(0, 1, MessageKind::kQueryState, {1});
+  net2.Send(2, 1, MessageKind::kQueryState, {2});
+  EXPECT_EQ(net2.DeliverDue(1, 10), 1);
+  EXPECT_EQ(net2.DeliverDue(1, 15), 1);
+  EXPECT_EQ(delivered, 2);
 }
 
 TEST(WireTest, InferenceEnvelopeRoundTrip) {
@@ -219,10 +273,16 @@ TEST(DistributedTest, FullReadingsCostMoreThanCollapsed) {
 }
 
 TEST(DistributedTest, CentralizedShipsMoreThanCollapsed) {
-  // Table 5's qualitative claim at unit-test scale: raw shipping costs more
-  // than collapsed-state migration even over a short horizon with rapid
-  // pallet turnover. (The orders-of-magnitude gap appears at bench scale,
-  // where items reside for hours between transfers.)
+  // Table 5's qualitative claim at unit-test scale: raw shipping costs
+  // more than collapsed-state migration even over a short horizon with
+  // rapid pallet turnover. (The orders-of-magnitude gap appears at bench
+  // scale, where items reside for hours between transfers.) The claim is
+  // about payload policy, so compare the migration traffic kinds: since
+  // byte accounting moved onto framed wire bytes, CR's *total* also
+  // carries the directory's per-op framing floor (~40 B per tiny
+  // directory record), which is deployment overhead either approach's
+  // real deployment would pay to some directory service, not migration
+  // cost.
   SupplyChainSim sim(ChainConfig(3, 1200));
   sim.Run();
   DistributedSystem collapsed(&sim, DistOptions(MigrationMode::kCollapsed));
@@ -235,7 +295,8 @@ TEST(DistributedTest, CentralizedShipsMoreThanCollapsed) {
   DistributedSystem central(&sim2, copts);
   central.Run();
   EXPECT_GT(central.network().BytesOfKind(MessageKind::kRawReadings),
-            collapsed.network().total_bytes());
+            collapsed.network().BytesOfKind(MessageKind::kInferenceState) +
+                collapsed.network().BytesOfKind(MessageKind::kQueryState));
 }
 
 TEST(DistributedTest, CollapsedBeatsNoneOnAverageAccuracy) {
@@ -364,6 +425,42 @@ TEST(DistributedTest, QueriesRunAtSites) {
   EXPECT_FALSE(sys.AllAlerts(0).empty());
   EXPECT_FALSE(sys.AllAlerts(1).empty());
   EXPECT_GT(sys.network().BytesOfKind(MessageKind::kQueryState), 0);
+}
+
+TEST(DistributedTest, LinkLatencyKeepsWireBytesInvariant) {
+  // The latency model shifts *when* frames are delivered: directory ops
+  // and flush/export events are simulation-driven, so byte totals stay
+  // put as long as the delay is well under an object's residence time.
+  // (Latency comparable to shelf_stay would change *what* departing
+  // sites export -- state that never arrived cannot be re-exported -- so
+  // the invariance is scoped to this delay regime, not universal.)
+  SupplyChainSim sim(ChainConfig(3, 1200));
+  sim.Run();
+  DistributedSystem instant(&sim, DistOptions(MigrationMode::kCollapsed));
+  instant.Run();
+
+  DistributedOptions slow = DistOptions(MigrationMode::kCollapsed);
+  slow.network.latency_base = 50;
+  slow.network.latency_per_kib = 1;
+  DistributedSystem delayed(&sim, slow);
+  delayed.Run();
+
+  EXPECT_EQ(delayed.network().total_bytes(),
+            instant.network().total_bytes());
+  EXPECT_EQ(delayed.network().total_messages(),
+            instant.network().total_messages());
+  for (int k = 0; k < kNumMessageKinds; ++k) {
+    const MessageKind kind = static_cast<MessageKind>(k);
+    EXPECT_EQ(delayed.network().BytesOfKind(kind),
+              instant.network().BytesOfKind(kind))
+        << ToString(kind);
+  }
+  ASSERT_FALSE(delayed.snapshots().empty());
+  // With zero latency nothing is left in flight mid-replay horizon except
+  // frames sent at the final events; high latency strands at least as
+  // much.
+  EXPECT_GE(delayed.network().in_flight_messages(),
+            instant.network().in_flight_messages());
 }
 
 }  // namespace

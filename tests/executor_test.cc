@@ -106,6 +106,60 @@ void ExpectSameAlerts(const std::vector<ExposureAlert>& a,
   }
 }
 
+/// The full bit-for-bit surface: accuracy samples, merged alerts, byte
+/// accounting down to per-kind and per-link counters, directory state and
+/// per-shard load, and every item's final believed container.
+void ExpectBitIdentical(const DistributedSystem& reference,
+                        const DistributedSystem& candidate,
+                        const SupplyChainSim& sim) {
+  EXPECT_EQ(reference.snapshots(), candidate.snapshots());
+
+  ExpectSameAlerts(reference.AllAlerts(0), candidate.AllAlerts(0));
+  ExpectSameAlerts(reference.AllAlerts(1), candidate.AllAlerts(1));
+
+  EXPECT_EQ(reference.network().total_bytes(),
+            candidate.network().total_bytes());
+  EXPECT_EQ(reference.network().total_messages(),
+            candidate.network().total_messages());
+  for (int k = 0; k < kNumMessageKinds; ++k) {
+    const MessageKind kind = static_cast<MessageKind>(k);
+    EXPECT_EQ(reference.network().BytesOfKind(kind),
+              candidate.network().BytesOfKind(kind))
+        << ToString(kind);
+    EXPECT_EQ(reference.network().MessagesOfKind(kind),
+              candidate.network().MessagesOfKind(kind))
+        << ToString(kind);
+  }
+  const SiteId sites = sim.config().num_warehouses;
+  for (SiteId a = 0; a < sites; ++a) {
+    for (SiteId b = 0; b < sites; ++b) {
+      EXPECT_EQ(reference.network().BytesOnLink(a, b),
+                candidate.network().BytesOnLink(a, b))
+          << a << "->" << b;
+    }
+  }
+
+  EXPECT_EQ(reference.ons().updates(), candidate.ons().updates());
+  EXPECT_EQ(reference.ons().unregisters(), candidate.ons().unregisters());
+  EXPECT_EQ(reference.ons().charged_lookups(),
+            candidate.ons().charged_lookups());
+  EXPECT_EQ(reference.ons().cache_hits(), candidate.ons().cache_hits());
+  EXPECT_EQ(reference.ons().size(), candidate.ons().size());
+  ASSERT_EQ(reference.ons().num_shards(), candidate.ons().num_shards());
+  for (int s = 0; s < reference.ons().num_shards(); ++s) {
+    EXPECT_EQ(reference.ons().shard_stats(s).bytes,
+              candidate.ons().shard_stats(s).bytes)
+        << "shard " << s;
+    EXPECT_EQ(reference.ons().shard_stats(s).charged_lookups,
+              candidate.ons().shard_stats(s).charged_lookups)
+        << "shard " << s;
+  }
+  for (TagId item : sim.all_items()) {
+    EXPECT_EQ(reference.BelievedContainer(item),
+              candidate.BelievedContainer(item));
+  }
+}
+
 // Runs the full thread x shard matrix: within a shard count, every
 // num_threads value must be bit-identical down to per-link bytes; across
 // shard counts, everything except the per-link distribution (which is the
@@ -152,61 +206,26 @@ TEST(DeterminismTest, ThreadAndShardMatrixMatchesBitForBit) {
         reference = std::move(sys);
         continue;
       }
-      const DistributedSystem& serial = *reference;
-      const DistributedSystem& parallel = *sys;
-
-      // Accuracy samples: identical epochs, bit-identical errors.
-      EXPECT_EQ(serial.snapshots(), parallel.snapshots());
-
-      // Query alerts, merged across sites.
-      ExpectSameAlerts(serial.AllAlerts(0), parallel.AllAlerts(0));
-      ExpectSameAlerts(serial.AllAlerts(1), parallel.AllAlerts(1));
-
-      // Byte accounting: totals, per kind, and the site-to-site links
-      // (including the directory-shard links, which land on real sites).
-      EXPECT_EQ(serial.network().total_bytes(),
-                parallel.network().total_bytes());
-      EXPECT_EQ(serial.network().total_messages(),
-                parallel.network().total_messages());
-      for (int k = 0; k < kNumMessageKinds; ++k) {
-        const MessageKind kind = static_cast<MessageKind>(k);
-        EXPECT_EQ(serial.network().BytesOfKind(kind),
-                  parallel.network().BytesOfKind(kind))
-            << ToString(kind);
-        EXPECT_EQ(serial.network().MessagesOfKind(kind),
-                  parallel.network().MessagesOfKind(kind))
-            << ToString(kind);
-      }
-      for (SiteId a = 0; a < cfg.num_warehouses; ++a) {
-        for (SiteId b = 0; b < cfg.num_warehouses; ++b) {
-          EXPECT_EQ(serial.network().BytesOnLink(a, b),
-                    parallel.network().BytesOnLink(a, b))
-              << a << "->" << b;
-        }
-      }
-
-      // Directory state, per-shard load, and final beliefs.
-      EXPECT_EQ(serial.ons().updates(), parallel.ons().updates());
-      EXPECT_EQ(serial.ons().unregisters(), parallel.ons().unregisters());
-      EXPECT_EQ(serial.ons().charged_lookups(),
-                parallel.ons().charged_lookups());
-      EXPECT_EQ(serial.ons().cache_hits(), parallel.ons().cache_hits());
-      EXPECT_EQ(serial.ons().size(), parallel.ons().size());
-      ASSERT_EQ(serial.ons().num_shards(), parallel.ons().num_shards());
-      for (int s = 0; s < serial.ons().num_shards(); ++s) {
-        EXPECT_EQ(serial.ons().shard_stats(s).bytes,
-                  parallel.ons().shard_stats(s).bytes)
-            << "shard " << s;
-        EXPECT_EQ(serial.ons().shard_stats(s).charged_lookups,
-                  parallel.ons().shard_stats(s).charged_lookups)
-            << "shard " << s;
-      }
-      for (TagId item : sim.all_items()) {
-        EXPECT_EQ(serial.BelievedContainer(item),
-                  parallel.BelievedContainer(item));
-      }
+      ExpectBitIdentical(*reference, *sys, sim);
     }
     references.push_back(std::move(reference));
+  }
+
+  // ---- Transport matrix: {in-process, socket} x num_threads {0, 1, 4} ----
+  // The socket backend pushes every frame through real loopback sockets
+  // (encode, kernel, decode); alerts, accuracy, directory state, and byte
+  // accounting must still match the in-process replay bit for bit. The
+  // in-process half of the matrix is references[1] and the loop above
+  // (same options: directory_shards = 4).
+  for (int threads : kThreads) {
+    SCOPED_TRACE("transport=socket threads=" + std::to_string(threads));
+    DistributedOptions opts = DeterminismOptions(threads, /*shards=*/4);
+    opts.transport = TransportKind::kSocket;
+    auto sys = std::make_unique<DistributedSystem>(&sim, opts, &catalog,
+                                                   &sensors);
+    sys->Run();
+    EXPECT_EQ(sys->network().transport_kind(), TransportKind::kSocket);
+    ExpectBitIdentical(*references[1], *sys, sim);
   }
 
   // Across shard counts: routing must not change what happens, only where
