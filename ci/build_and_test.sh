@@ -15,14 +15,40 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 SKIP_SANITIZE=0
 [[ "${1:-}" == "--skip-sanitize" ]] && SKIP_SANITIZE=1
 
+echo "==> Docs: intra-repo markdown links in README/ROADMAP/docs resolve"
+check_links() {
+  local fail=0 f target path
+  for f in README.md ROADMAP.md docs/*.md; do
+    [[ -e "$f" ]] || continue
+    while IFS= read -r target; do
+      [[ -z "$target" ]] && continue
+      case "$target" in
+        http://* | https://* | mailto:* | "#"*) continue ;;
+      esac
+      path="${target%%#*}"
+      [[ -z "$path" ]] && continue
+      if [[ ! -e "$(dirname "$f")/$path" ]]; then
+        echo "broken link in $f: ($target)"
+        fail=1
+      fi
+    done < <(grep -oE '\]\([^)]+\)' "$f" | sed 's/^](//; s/)$//')
+  done
+  return "$fail"
+}
+check_links || { echo "Docs link check FAILED"; exit 1; }
+
 echo "==> Tier-1: Release build + full ctest (tests, bench smoke)"
 cmake -B build -S .
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
 echo "==> Socket transport: distributed suites over real loopback sockets"
+# smoke_bench_hierarchical rides along: the hierarchical replay's own
+# {in-process, socket} x threads determinism matrix, re-run with every
+# Network defaulting to the socket backend.
 (cd build && RFID_TRANSPORT=socket \
-  ctest --output-on-failure -R '^(dist_test|executor_test|frame_test)$')
+  ctest --output-on-failure \
+  -R '^(dist_test|executor_test|frame_test|smoke_bench_hierarchical)$')
 
 if [[ "${SKIP_SANITIZE}" == "1" ]]; then
   echo "==> Skipping sanitizer pass (--skip-sanitize)"

@@ -321,61 +321,112 @@ TagId DistributedSystem::BelievedContainer(TagId object) const {
   return site == nullptr ? kNoTag : site->BelievedContainer(object);
 }
 
-void DistributedSystem::RecordSnapshot(Epoch t, SiteExecutor* executor) {
+TagId DistributedSystem::BelievedPallet(TagId object) const {
+  Site* site = OwnerSite(object);
+  if (site == nullptr) return kNoTag;
+  if (!object.is_item()) return site->BelievedPallet(object);
+  // Resolve the item's case at the item's owner, then the case's pallet at
+  // the *case's* owner: mid-handoff the two can momentarily differ.
+  const TagId c = site->BelievedContainer(object);
+  if (!c.valid() || !c.is_case()) return kNoTag;
+  Site* case_site = OwnerSite(c);
+  return case_site == nullptr ? kNoTag : case_site->BelievedPallet(c);
+}
+
+ErrorRate DistributedSystem::ScanContainment(const std::vector<TagId>& tags,
+                                             Epoch t, SiteExecutor* executor,
+                                             bool contained_only) const {
   const GroundTruth& truth = sim_->truth();
-  const std::vector<TagId>& items = sim_->all_items();
-  // Fan the per-item scan across the executor pool: every evaluation is
+  // Fan the per-tag scan across the executor pool: every evaluation is
   // read-only (ground-truth intervals, owner map, site beliefs), and the
   // per-chunk integer counts sum exactly, so the sampled percentage is
   // bit-identical to the serial scan for any thread or chunk count.
-  const size_t n = items.size();
+  const size_t n = tags.size();
   const size_t num_chunks =
       executor == nullptr || executor->serial() || n == 0
           ? 1
           : std::min(n, static_cast<size_t>(executor->num_threads()) * 4);
+  auto scan_range = [&](size_t begin, size_t end, ErrorRate& out) {
+    for (size_t i = begin; i < end; ++i) {
+      const TagId tag = tags[i];
+      if (!truth.PresentAt(tag, t)) continue;
+      const TagId want = truth.ContainerAt(tag, t);
+      if (contained_only && !want.valid()) continue;
+      out.Add(BelievedContainer(tag) == want);
+    }
+  };
   ErrorRate err;
   if (num_chunks <= 1) {
-    for (TagId item : items) {
-      if (!truth.PresentAt(item, t)) continue;
-      err.Add(BelievedContainer(item) == truth.ContainerAt(item, t));
-    }
+    scan_range(0, n, err);
   } else {
     std::vector<ErrorRate> partial(num_chunks);
     executor->Run(num_chunks, [&](size_t chunk) {
-      const size_t begin = chunk * n / num_chunks;
-      const size_t end = (chunk + 1) * n / num_chunks;
-      ErrorRate& local = partial[chunk];
-      for (size_t i = begin; i < end; ++i) {
-        const TagId item = items[i];
-        if (!truth.PresentAt(item, t)) continue;
-        local.Add(BelievedContainer(item) == truth.ContainerAt(item, t));
-      }
+      scan_range(chunk * n / num_chunks, (chunk + 1) * n / num_chunks,
+                 partial[chunk]);
     });
     for (const ErrorRate& p : partial) err.AddCounts(p.errors(), p.total());
   }
-  snapshots_.push_back(ErrorSnapshot{t, err.Percent()});
+  return err;
 }
 
-double DistributedSystem::ContainmentErrorPercent(Epoch at) const {
-  // No samples means "not measured", never "perfect": return NaN so an
-  // empty run cannot masquerade as a flawless one (benches print n/a).
-  if (snapshots_.empty()) {
-    return std::numeric_limits<double>::quiet_NaN();
+void DistributedSystem::RecordSnapshot(Epoch t, SiteExecutor* executor) {
+  snapshots_.push_back(ErrorSnapshot{
+      t, ScanContainment(sim_->all_items(), t, executor,
+                         /*contained_only=*/false)
+             .Percent()});
+  if (options_.site.hierarchical) {
+    // The case level scores only truly contained cases (see
+    // case_snapshots()); a boundary with none records no sample.
+    const ErrorRate err = ScanContainment(sim_->all_cases(), t, executor,
+                                          /*contained_only=*/true);
+    if (err.total() > 0) {
+      case_snapshots_.push_back(ErrorSnapshot{t, err.Percent()});
+    }
   }
-  const ErrorSnapshot* best = &snapshots_.front();
-  for (const ErrorSnapshot& s : snapshots_) {
+}
+
+namespace {
+
+/// Sample nearest to `at`; NaN when the series is empty. No samples means
+/// "not measured", never "perfect": NaN keeps an empty run from
+/// masquerading as a flawless one (benches print n/a).
+double NearestSample(const std::vector<DistributedSystem::ErrorSnapshot>& xs,
+                     Epoch at) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const DistributedSystem::ErrorSnapshot* best = &xs.front();
+  for (const DistributedSystem::ErrorSnapshot& s : xs) {
     if (std::abs(s.epoch - at) < std::abs(best->epoch - at)) best = &s;
   }
   return best->error_percent;
 }
 
-double DistributedSystem::AverageContainmentErrorPercent(Epoch warmup) const {
+double MeanSince(const std::vector<DistributedSystem::ErrorSnapshot>& xs,
+                 Epoch warmup) {
   OnlineStats stats;
-  for (const ErrorSnapshot& s : snapshots_) {
+  for (const DistributedSystem::ErrorSnapshot& s : xs) {
     if (s.epoch >= warmup) stats.Add(s.error_percent);
   }
   return stats.count() == 0 ? std::numeric_limits<double>::quiet_NaN()
                             : stats.Mean();
+}
+
+}  // namespace
+
+double DistributedSystem::ContainmentErrorPercent(Epoch at) const {
+  return NearestSample(snapshots_, at);
+}
+
+double DistributedSystem::AverageContainmentErrorPercent(Epoch warmup) const {
+  return MeanSince(snapshots_, warmup);
+}
+
+double DistributedSystem::CaseContainmentErrorPercent(Epoch at) const {
+  return NearestSample(case_snapshots_, at);
+}
+
+double DistributedSystem::AverageCaseContainmentErrorPercent(
+    Epoch warmup) const {
+  return MeanSince(case_snapshots_, warmup);
 }
 
 std::vector<ExposureAlert> DistributedSystem::AllAlerts(

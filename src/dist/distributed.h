@@ -16,8 +16,9 @@
 //
 // Accuracy is surfaced the way the paper plots it: containment error
 // against trace/ground_truth sampled at every inference boundary
-// (Figures 5(e)/5(f)), plus the merged per-site query alerts
-// (Section 5.4).
+// (Figures 5(e)/5(f)) -- per containment level when the sites run the
+// Appendix A.4 hierarchy (snapshots() for items, case_snapshots() for
+// cases) -- plus the merged per-site query alerts (Section 5.4).
 //
 // Execution model: the replay is event-driven and bulk-synchronous. The
 // driver precomputes every epoch at which anything can happen (injections,
@@ -42,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "dist/executor.h"
 #include "dist/network.h"
 #include "dist/ons.h"
@@ -124,8 +126,17 @@ class DistributedSystem {
   const Site& site(SiteId s) const { return *sites_[static_cast<size_t>(s)]; }
 
   /// The owning processor's current belief about an object's container
-  /// (kNoTag for unknown or departed objects).
+  /// (kNoTag for unknown or departed objects). Items answer at the
+  /// item→case level; cases at the case→pallet level when
+  /// SiteOptions::hierarchical is set.
   TagId BelievedContainer(TagId object) const;
+
+  /// Two-level containment answer (Appendix A.4): the believed pallet of a
+  /// case, or of an item resolved transitively through its believed case
+  /// (following the case to *its* owning processor, which can differ from
+  /// the item's mid-handoff). kNoTag when the hierarchy is disabled or
+  /// either hop is unresolved.
+  TagId BelievedPallet(TagId object) const;
 
   struct ErrorSnapshot {
     Epoch epoch = 0;
@@ -149,6 +160,24 @@ class DistributedSystem {
   /// sample falls in the range.
   double AverageContainmentErrorPercent(Epoch warmup = 0) const;
 
+  /// Case→pallet accuracy series, sampled at the same boundaries as
+  /// `snapshots()` when the hierarchy is enabled (always empty otherwise).
+  /// A sample scores only cases the ground truth has contained in a pallet
+  /// at that epoch -- an unpacked case sitting on a shelf is uncontained
+  /// by construction, and counting it would measure shelving, not
+  /// inference -- and boundaries where no case is contained record no
+  /// sample rather than a fake-perfect one.
+  const std::vector<ErrorSnapshot>& case_snapshots() const {
+    return case_snapshots_;
+  }
+
+  /// Case-level error at the case sample nearest to `at`; NaN when none.
+  double CaseContainmentErrorPercent(Epoch at) const;
+
+  /// Mean case-level error over case samples at or after `warmup`; NaN
+  /// when none fall in the range.
+  double AverageCaseContainmentErrorPercent(Epoch warmup = 0) const;
+
   /// All alerts of query `query_index` (0 = Q1, 1 = Q2) merged across
   /// sites, ordered by completion time. Empty when queries not attached.
   std::vector<ExposureAlert> AllAlerts(int query_index) const;
@@ -161,11 +190,17 @@ class DistributedSystem {
     return options_.mode == ProcessingMode::kCentralized;
   }
   Site* OwnerSite(TagId object) const;
-  /// Samples containment accuracy at `t`. The per-item scan fans out
-  /// across `executor` (read-only against site state; integer error
-  /// counts merge associatively, so results stay bit-identical at any
-  /// thread count).
+  /// Samples containment accuracy at `t`, per level when hierarchical.
+  /// The per-tag scans fan out across `executor` (read-only against site
+  /// state; integer error counts merge associatively, so results stay
+  /// bit-identical at any thread count).
   void RecordSnapshot(Epoch t, SiteExecutor* executor);
+  /// One level's containment scan at `t`: tags are scored against their
+  /// ground-truth container; with `contained_only`, tags the truth holds
+  /// uncontained at `t` are skipped instead of scored.
+  ErrorRate ScanContainment(const std::vector<TagId>& tags, Epoch t,
+                            SiteExecutor* executor,
+                            bool contained_only) const;
 
   const SupplyChainSim* sim_;
   DistributedOptions options_;
@@ -179,6 +214,8 @@ class DistributedSystem {
   /// Current owning processor per tag (tracks transfers as they arrive).
   std::unordered_map<TagId, SiteId> owner_;
   std::vector<ErrorSnapshot> snapshots_;
+  /// Case→pallet samples (hierarchical runs only; see case_snapshots()).
+  std::vector<ErrorSnapshot> case_snapshots_;
   bool ran_ = false;
 };
 

@@ -1,15 +1,22 @@
-// Bulk-synchronous parallel executor for the distributed replay: a
-// persistent worker pool that fans independent per-site work items across
-// threads and joins before the caller proceeds to the next serial boundary
-// phase (ONS updates, transfers, Network sends).
+// Bulk-synchronous parallel executor for the distributed replay
+// (Section 5.2's deployment, where "each warehouse is provisioned with a
+// server" that computes independently between exchanges): a persistent
+// worker pool that fans independent per-site work items across threads and
+// joins before the caller proceeds to the next serial boundary phase (ONS
+// updates, transfer exports, Network sends -- the cross-site effects of
+// Section 4.1/5.2).
 //
 // The pool exists because inter-boundary site work is embarrassingly
 // parallel -- sites only interact through Network::Send at transfer and
 // flush epochs -- so DistributedSystem can run every site's
-// Observe/AdvanceTo window concurrently and still produce bit-identical
-// results to the serial replay: each work item touches only one site's
-// state, and every cross-site effect happens in the serial phase between
-// Run() calls.
+// Observe/AdvanceTo window (the Section 4.1 streaming inference, both
+// containment levels under Appendix A.4 hierarchy) concurrently and still
+// produce bit-identical results to the serial replay: each work item
+// touches only one site's state, and every cross-site effect happens in
+// the serial phase between Run() calls. The same pool fans out the
+// read-only per-tag accuracy scans behind the Figures 5(e)/5(f) error
+// sampling (exact integer count merging keeps them bit-identical too).
+// The resulting phase structure is diagrammed in docs/ARCHITECTURE.md.
 #ifndef RFID_DIST_EXECUTOR_H_
 #define RFID_DIST_EXECUTOR_H_
 

@@ -143,7 +143,13 @@ Site::Site(SiteId id, const ReadRateModel* model,
     : id_(id),
       network_(network),
       options_(std::move(options)),
-      streaming_(model, schedule, options_.streaming) {}
+      streaming_(model, schedule, options_.streaming) {
+  if (options_.hierarchical) {
+    pallet_streaming_ = std::make_unique<StreamingInference>(
+        model, schedule, options_.streaming);
+    pallet_streaming_->SetUniverseKinds(TagKind::kPallet, TagKind::kCase);
+  }
+}
 
 Site::~Site() = default;
 
@@ -159,10 +165,36 @@ void Site::AddSensor(const SensorReading& reading) {
   sensors_.push_back(reading);
 }
 
-void Site::Observe(const RawReading& reading) { streaming_.Observe(reading); }
+void Site::Observe(const RawReading& reading) {
+  streaming_.Observe(reading);
+  // The pallet level only reasons over case and pallet tags; item readings
+  // (the overwhelming bulk of the stream) never enter its history buffer.
+  if (pallet_streaming_ != nullptr && !reading.tag.is_item()) {
+    pallet_streaming_->Observe(reading);
+  }
+}
 
 void Site::ObserveBatch(const RawReading* readings, size_t n) {
   streaming_.ObserveBatch(readings, n);
+  if (pallet_streaming_ == nullptr) return;
+  size_t upper_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!readings[i].tag.is_item()) ++upper_count;
+  }
+  // Item-only windows (the common case between door events) cost the
+  // hierarchy nothing but the count scan; all-non-item batches (case-only
+  // tracking) forward without a copy.
+  if (upper_count == 0) return;
+  if (upper_count == n) {
+    pallet_streaming_->ObserveBatch(readings, n);
+    return;
+  }
+  std::vector<RawReading> upper;
+  upper.reserve(upper_count);
+  for (size_t i = 0; i < n; ++i) {
+    if (!readings[i].tag.is_item()) upper.push_back(readings[i]);
+  }
+  pallet_streaming_->ObserveBatch(upper.data(), upper.size());
 }
 
 bool Site::HasArrivalsDue(Epoch now) const {
@@ -176,6 +208,7 @@ bool Site::HasArrivalsDue(Epoch now) const {
 }
 
 int Site::AdvanceTo(Epoch now) {
+  if (pallet_streaming_ != nullptr) pallet_streaming_->AdvanceTo(now);
   const int ran = streaming_.AdvanceTo(now);
   if (ran > 0 && queries_attached()) {
     // Consecutive run windows overlap (a run re-reads recent history), so
@@ -229,18 +262,33 @@ void Site::DeliverArrivals(Epoch now) {
   }
 }
 
-void Site::InstallInference(const PendingArrival& arrival) {
-  for (const ObjectMigrationState& s : arrival.states) {
+namespace {
+
+/// Installs one level's migrated states into the level's engine.
+void InstallStates(StreamingInference& si,
+                   const std::vector<ObjectMigrationState>& states) {
+  for (const ObjectMigrationState& s : states) {
     ObjectContext ctx;
     ctx.critical_region = s.critical_region;
     ctx.barrier = s.barrier;
     ctx.prior_weights = s.weights;
-    streaming_.ImportObjectContext(s.object, ctx);
+    si.ImportObjectContext(s.object, ctx);
     // Queries can be answered before the first local run covers the object.
-    streaming_.SetImportedBelief(s.object, s.container);
+    si.SetImportedBelief(s.object, s.container);
     for (const RawReading& r : s.readings) {
-      streaming_.Observe(r);
+      si.Observe(r);
     }
+  }
+}
+
+}  // namespace
+
+void Site::InstallInference(const PendingArrival& arrival) {
+  InstallStates(streaming_, arrival.states);
+  // Case→pallet states from a hierarchical sender are dropped when this
+  // site does not run the second level (nothing could consume them).
+  if (pallet_streaming_ != nullptr) {
+    InstallStates(*pallet_streaming_, arrival.case_states);
   }
 }
 
@@ -259,29 +307,46 @@ void Site::ExportTransfer(const ObjectTransfer& tr) {
     Retire(tr);
     return;
   }
-  if (options_.migration != MigrationMode::kNone && !tr.items.empty()) {
-    std::vector<ObjectMigrationState> states;
-    states.reserve(tr.items.size());
-    for (TagId item : tr.items) {
-      ObjectMigrationState s;
-      s.object = item;
-      ObjectContext ctx = streaming_.ExportObjectContext(item);
-      s.weights = std::move(ctx.prior_weights);
-      s.critical_region = ctx.critical_region;
-      s.barrier = ctx.barrier;
-      s.container = streaming_.ContainerOf(item);
-      if (options_.migration == MigrationMode::kFullReadings) {
-        std::vector<TagId> tags;
-        tags.push_back(item);
-        for (TagId c : streaming_.engine().CandidatesOf(item)) {
-          tags.push_back(c);
+  // A transfer with cases but no items (e.g. case-level-only tracking)
+  // must still ship its case→pallet state when the hierarchy is on.
+  const bool has_level_state =
+      !tr.items.empty() ||
+      (pallet_streaming_ != nullptr && !tr.cases.empty());
+  if (options_.migration != MigrationMode::kNone && has_level_state) {
+    // One level's departing state, from that level's engine: collapsed
+    // weights + context always, plus the object's and its candidate
+    // containers' retained readings under kFullReadings.
+    auto collect = [&](StreamingInference& si,
+                       const std::vector<TagId>& objects) {
+      std::vector<ObjectMigrationState> states;
+      states.reserve(objects.size());
+      for (TagId object : objects) {
+        ObjectMigrationState s;
+        s.object = object;
+        ObjectContext ctx = si.ExportObjectContext(object);
+        s.weights = std::move(ctx.prior_weights);
+        s.critical_region = ctx.critical_region;
+        s.barrier = ctx.barrier;
+        s.container = si.ContainerOf(object);
+        if (options_.migration == MigrationMode::kFullReadings) {
+          std::vector<TagId> tags;
+          tags.push_back(object);
+          for (TagId c : si.engine().CandidatesOf(object)) {
+            tags.push_back(c);
+          }
+          s.readings = si.ExportReadings(tags, object);
         }
-        s.readings = streaming_.ExportReadings(tags, item);
+        states.push_back(std::move(s));
       }
-      states.push_back(std::move(s));
+      return states;
+    };
+    std::vector<ObjectMigrationState> states = collect(streaming_, tr.items);
+    std::vector<ObjectMigrationState> case_states;
+    if (pallet_streaming_ != nullptr) {
+      case_states = collect(*pallet_streaming_, tr.cases);
     }
     network_->Send(id_, tr.to, MessageKind::kInferenceState,
-                   EncodeInferenceEnvelope(tr.arrive, states,
+                   EncodeInferenceEnvelope(tr.arrive, states, case_states,
                                            options_.compress_level));
   }
   if (queries_attached() && !tr.items.empty()) {
@@ -306,6 +371,16 @@ void Site::ExportTransfer(const ObjectTransfer& tr) {
                                          believed));
     }
   }
+}
+
+TagId Site::BelievedPallet(TagId tag) const {
+  if (pallet_streaming_ == nullptr) return kNoTag;
+  if (tag.is_pallet()) return tag;
+  if (tag.is_case()) return pallet_streaming_->ContainerOf(tag);
+  // Items resolve transitively: item -> believed case -> believed pallet.
+  const TagId c = streaming_.ContainerOf(tag);
+  if (!c.valid() || !c.is_case()) return kNoTag;
+  return pallet_streaming_->ContainerOf(c);
 }
 
 void Site::Retire(const ObjectTransfer& tr) {
@@ -333,11 +408,13 @@ void Site::HandleMessage(SiteId from, MessageKind kind,
       break;
     }
     case MessageKind::kRawReadings: {
-      // The centralized server ingests remote readings directly.
+      // The centralized server ingests remote readings directly -- through
+      // Observe so the non-item slice also reaches the pallet-level
+      // engine when the hierarchy is on.
       Result<std::vector<RawReading>> batch = DecodeReadingBatch(payload);
       RFID_CHECK_OK(batch.status());
       for (const RawReading& r : *batch) {
-        streaming_.Observe(r);
+        Observe(r);
       }
       break;
     }
@@ -354,10 +431,19 @@ void Site::HandleMessage(SiteId from, MessageKind kind,
 
 std::vector<uint8_t> EncodeInferenceEnvelope(
     Epoch arrive, const std::vector<ObjectMigrationState>& states,
+    const std::vector<ObjectMigrationState>& case_states,
     int compress_level) {
+  // Two length-prefixed level batches (item→case, then case→pallet) share
+  // one deflate stream: the levels' states reference overlapping tags, so
+  // compressing them together is strictly cheaper than two streams.
+  BufferWriter inner;
+  for (const auto* batch : {&states, &case_states}) {
+    std::vector<uint8_t> encoded = EncodeMigrationStates(*batch);
+    inner.PutVarint(encoded.size());
+    inner.PutBytes(encoded.data(), encoded.size());
+  }
   std::vector<uint8_t> compressed;
-  RFID_CHECK_OK(
-      Compress(EncodeMigrationStates(states), &compressed, compress_level));
+  RFID_CHECK_OK(Compress(inner.Release(), &compressed, compress_level));
   BufferWriter w;
   w.PutVarint(static_cast<uint64_t>(arrive));
   w.PutBytes(compressed.data(), compressed.size());
@@ -376,7 +462,19 @@ Result<PendingArrival> DecodeInferenceEnvelope(
   RFID_RETURN_NOT_OK(Decompress(compressed, &raw));
   PendingArrival arrival;
   arrival.arrive = static_cast<Epoch>(arrive);
-  RFID_ASSIGN_OR_RETURN(arrival.states, DecodeMigrationStates(raw));
+  BufferReader inner(raw);
+  for (auto* batch : {&arrival.states, &arrival.case_states}) {
+    uint64_t len = 0;
+    RFID_RETURN_NOT_OK(inner.GetVarint(&len));
+    if (len > inner.remaining()) {
+      return Status::Corruption("truncated migration-state batch");
+    }
+    std::vector<uint8_t> encoded(
+        raw.begin() + static_cast<long>(inner.position()),
+        raw.begin() + static_cast<long>(inner.position() + len));
+    RFID_RETURN_NOT_OK(inner.Skip(len));
+    RFID_ASSIGN_OR_RETURN(*batch, DecodeMigrationStates(encoded));
+  }
   return arrival;
 }
 

@@ -17,6 +17,15 @@
 // inference/state) deflated with common/compress; query state migrates per
 // object, optionally compressed with the centroid-based sharing of
 // Section 4.2 (query/state_sharing).
+//
+// With SiteOptions::hierarchical set, the site additionally runs the
+// Appendix A.4 second containment level: a dedicated StreamingInference
+// whose universe is (pallet containers, case objects), fed the non-item
+// slice of the same stream. A departing transfer then ships case→pallet
+// state (collapsed weights, contexts, and -- under kFullReadings -- the
+// case/candidate-pallet readings) alongside the item→case states in the
+// same kInferenceState envelope, and containment answers resolve an item's
+// pallet transitively (BelievedPallet).
 #ifndef RFID_DIST_SITE_H_
 #define RFID_DIST_SITE_H_
 
@@ -56,13 +65,20 @@ struct SiteOptions {
   /// zlib level for migration payload compression (Table 5's "simple gzip
   /// compression").
   int compress_level = 6;
+  /// Run the second containment level (cases within pallets, Appendix
+  /// A.4): a per-site pallet-level engine whose state also migrates on
+  /// transfers and whose answers back BelievedPallet.
+  bool hierarchical = false;
 };
 
-/// A decoded inbound state transfer waiting for its arrival epoch.
+/// A decoded inbound state transfer waiting for its arrival epoch. `states`
+/// carries the item→case level; `case_states` the case→pallet level (empty
+/// unless the sender ran hierarchical inference).
 struct PendingArrival {
   Epoch arrive = 0;
   SiteId from = kNoSite;
   std::vector<ObjectMigrationState> states;
+  std::vector<ObjectMigrationState> case_states;
 };
 
 /// Pending inbound query state for one object: (query index, state bytes).
@@ -134,14 +150,34 @@ class Site {
                      const std::vector<uint8_t>& payload);
 
   /// The site's current belief about an object's container (local
-  /// inference, change overrides, or imported belief).
+  /// inference, change overrides, or imported belief). Items answer from
+  /// the item→case engine; cases answer from the pallet-level engine when
+  /// the hierarchy is enabled (kNoTag otherwise -- the flat engine never
+  /// assigns a case).
   TagId BelievedContainer(TagId object) const {
+    if (object.is_case() && pallet_streaming_ != nullptr) {
+      return pallet_streaming_->ContainerOf(object);
+    }
     return streaming_.ContainerOf(object);
   }
+
+  /// Two-level containment answer (Appendix A.4): a case's believed pallet
+  /// directly, an item's pallet transitively through its believed case.
+  /// kNoTag when the hierarchy is disabled or either hop is unresolved.
+  /// Resolution is *site-local*: both hops answer from this site's
+  /// engines, which is the right view for a processor answering queries
+  /// over its own population. Mid-handoff an item and its case can be
+  /// owned by different processors; DistributedSystem::BelievedPallet is
+  /// the deployment-wide answer that routes each hop to its owner.
+  TagId BelievedPallet(TagId tag) const;
 
   SiteId id() const { return id_; }
   const StreamingInference& streaming() const { return streaming_; }
   StreamingInference& streaming() { return streaming_; }
+  /// The case→pallet engine; nullptr unless SiteOptions::hierarchical.
+  const StreamingInference* pallet_streaming() const {
+    return pallet_streaming_.get();
+  }
   bool queries_attached() const { return q1_ != nullptr; }
   /// Query 0 (Q1) / 1 (Q2); nullptr when queries are not attached.
   const ExposureQuery* query(int index) const {
@@ -157,6 +193,9 @@ class Site {
   Network* network_;
   SiteOptions options_;
   StreamingInference streaming_;
+  /// Second inference level (pallet containers, case objects); null unless
+  /// options_.hierarchical.
+  std::unique_ptr<StreamingInference> pallet_streaming_;
 
   const ProductCatalog* catalog_ = nullptr;
   std::unique_ptr<ExposureQuery> q1_;
@@ -172,11 +211,13 @@ class Site {
 
 // ---- Wire codecs shared by sites and the centralized driver ----
 
-/// Inference-state envelope: varint arrival epoch, then the deflated
-/// EncodeMigrationStates batch.
+/// Inference-state envelope: varint arrival epoch, then one deflated block
+/// of two length-prefixed EncodeMigrationStates batches -- the item→case
+/// states and the case→pallet states (the latter empty unless the sender
+/// runs hierarchical inference).
 std::vector<uint8_t> EncodeInferenceEnvelope(
     Epoch arrive, const std::vector<ObjectMigrationState>& states,
-    int compress_level);
+    const std::vector<ObjectMigrationState>& case_states, int compress_level);
 Result<PendingArrival> DecodeInferenceEnvelope(
     const std::vector<uint8_t>& payload);
 

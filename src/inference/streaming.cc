@@ -17,8 +17,17 @@ StreamingInference::StreamingInference(const ReadRateModel* model,
 void StreamingInference::SetUniverse(std::vector<TagId> containers,
                                      std::vector<TagId> objects) {
   has_universe_ = true;
+  has_universe_kinds_ = false;
   universe_containers_ = std::move(containers);
   universe_objects_ = std::move(objects);
+}
+
+void StreamingInference::SetUniverseKinds(TagKind container_kind,
+                                          TagKind object_kind) {
+  has_universe_ = false;
+  has_universe_kinds_ = true;
+  universe_container_kind_ = container_kind;
+  universe_object_kind_ = object_kind;
 }
 
 void StreamingInference::Observe(const RawReading& reading) {
@@ -56,6 +65,19 @@ Status StreamingInference::RunNow(Epoch now) {
 
   if (has_universe_) {
     engine_->SetUniverse(universe_containers_, universe_objects_);
+  } else if (has_universe_kinds_) {
+    // Kind-derived universe: re-scanned before every run so tags that
+    // appeared since the last run join their role immediately.
+    std::vector<TagId> containers;
+    std::vector<TagId> objects;
+    for (TagId tag : buffer_.Tags()) {
+      if (tag.kind() == universe_container_kind_) {
+        containers.push_back(tag);
+      } else if (tag.kind() == universe_object_kind_) {
+        objects.push_back(tag);
+      }
+    }
+    engine_->SetUniverse(std::move(containers), std::move(objects));
   }
   engine_->ClearObjectContexts();
   if (options_.truncation == TruncationMethod::kCriticalRegion) {

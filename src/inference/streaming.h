@@ -74,6 +74,15 @@ class StreamingInference {
   /// Optional explicit container/object universe (see RFInfer::SetUniverse).
   void SetUniverse(std::vector<TagId> containers, std::vector<TagId> objects);
 
+  /// Derives the universe per run from the buffered trace instead: every
+  /// buffered tag of `container_kind` is a container and every tag of
+  /// `object_kind` an object, passed to RFInfer::SetUniverse before each
+  /// run. This is the hierarchical-inference hook (Appendix A.4): the
+  /// case→pallet level runs with (kPallet, kCase) over the same stream the
+  /// item→case level consumes with the default (kCase, kItem) roles.
+  /// Mutually exclusive with an explicit SetUniverse.
+  void SetUniverseKinds(TagKind container_kind, TagKind object_kind);
+
   /// Buffers one reading. Readings may arrive in any order within the
   /// current inference period.
   void Observe(const RawReading& reading);
@@ -157,6 +166,9 @@ class StreamingInference {
   bool has_universe_ = false;
   std::vector<TagId> universe_containers_;
   std::vector<TagId> universe_objects_;
+  bool has_universe_kinds_ = false;
+  TagKind universe_container_kind_ = TagKind::kCase;
+  TagKind universe_object_kind_ = TagKind::kItem;
 
   std::unordered_map<TagId, ObjectContext> contexts_;
   std::unordered_map<TagId, std::vector<TagRead>> location_track_;

@@ -1,4 +1,7 @@
-// Centroid-based query-state sharing (Section 4.2, Appendix B).
+// Centroid-based query-state sharing (Section 4.2, Appendix B): when a
+// departing transfer group's per-object SEQ(A+) pattern states migrate to
+// the next site, objects that share a container ship one representative
+// state plus per-object byte diffs instead of full copies.
 //
 // "These objects have the same container and location at present (but
 // possibly different histories). The query states for these objects are
@@ -6,9 +9,19 @@
 // technique that finds the most representative query state and compresses
 // other similar query states by storing only the differences."
 //
-// The distance function "counts the number of bytes that differ in the
-// query state of two objects"; centroid selection is the O(n^2) medoid scan
-// the paper deems affordable for 20-50 objects per case.
+// The pieces, in paper order:
+//   * ByteDistance        -- Section 4.2's distance function ("counts the
+//                            number of bytes that differ in the query
+//                            state of two objects");
+//   * DiffEncode/DiffApply -- the difference encoding shipped per object;
+//   * ShareStates          -- centroid selection, the O(n^2) medoid scan
+//                            Appendix B deems affordable for the "20-50
+//                            objects per case" sharing groups;
+//   * UnshareStates        -- reconstruction at the receiving site.
+//
+// dist/site.cc's query-state envelope (MessageKind::kQueryState) invokes
+// these per same-container group, using the exporting site's believed
+// containment at the exit point; Table 5 charges the shared bytes.
 #ifndef RFID_QUERY_STATE_SHARING_H_
 #define RFID_QUERY_STATE_SHARING_H_
 

@@ -114,6 +114,7 @@ TEST(WireTest, InferenceEnvelopeRoundTrip) {
   states[1].readings.push_back(RawReading{130, TagId::Item(12), 2});
 
   auto payload = EncodeInferenceEnvelope(/*arrive=*/900, states,
+                                         /*case_states=*/{},
                                          /*compress_level=*/6);
   auto decoded = DecodeInferenceEnvelope(payload);
   ASSERT_TRUE(decoded.ok());
@@ -124,6 +125,51 @@ TEST(WireTest, InferenceEnvelopeRoundTrip) {
   EXPECT_EQ(decoded->states[0].critical_region, states[0].critical_region);
   EXPECT_EQ(decoded->states[1].barrier, 77);
   EXPECT_EQ(decoded->states[1].readings, states[1].readings);
+  EXPECT_TRUE(decoded->case_states.empty());
+}
+
+TEST(WireTest, InferenceEnvelopeRoundTripTwoLevels) {
+  // A hierarchical transfer ships both containment levels in one
+  // envelope: item→case states plus case→pallet states with their own
+  // collapsed weights, contexts, and (full mode) readings.
+  std::vector<ObjectMigrationState> states(1);
+  states[0].object = TagId::Item(11);
+  states[0].container = TagId::Case(3);
+  states[0].weights = {{TagId::Case(3), -1.5}};
+
+  std::vector<ObjectMigrationState> case_states(2);
+  case_states[0].object = TagId::Case(3);
+  case_states[0].container = TagId::Pallet(1);
+  case_states[0].weights = {{TagId::Pallet(1), -2.0},
+                            {TagId::Pallet(2), -9.5}};
+  case_states[0].critical_region = EpochInterval{10, 60};
+  case_states[0].readings.push_back(RawReading{12, TagId::Case(3), 0});
+  case_states[0].readings.push_back(RawReading{12, TagId::Pallet(1), 0});
+  case_states[1].object = TagId::Case(4);
+  case_states[1].container = kNoTag;
+  case_states[1].barrier = 33;
+
+  auto payload = EncodeInferenceEnvelope(/*arrive=*/450, states, case_states,
+                                         /*compress_level=*/6);
+  auto decoded = DecodeInferenceEnvelope(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->arrive, 450);
+  ASSERT_EQ(decoded->states.size(), 1u);
+  EXPECT_EQ(decoded->states[0].object, TagId::Item(11));
+  EXPECT_EQ(decoded->states[0].container, TagId::Case(3));
+  ASSERT_EQ(decoded->case_states.size(), 2u);
+  EXPECT_EQ(decoded->case_states[0].object, TagId::Case(3));
+  EXPECT_EQ(decoded->case_states[0].container, TagId::Pallet(1));
+  EXPECT_EQ(decoded->case_states[0].weights, case_states[0].weights);
+  EXPECT_EQ(decoded->case_states[0].critical_region,
+            case_states[0].critical_region);
+  EXPECT_EQ(decoded->case_states[0].readings, case_states[0].readings);
+  EXPECT_EQ(decoded->case_states[1].object, TagId::Case(4));
+  EXPECT_EQ(decoded->case_states[1].barrier, 33);
+
+  // A truncated envelope surfaces as a Status, not a crash.
+  payload.resize(payload.size() / 2);
+  EXPECT_FALSE(DecodeInferenceEnvelope(payload).ok());
 }
 
 TEST(WireTest, QueryEnvelopeRoundTripRawAndShared) {
@@ -219,6 +265,133 @@ TEST(DistributedTest, MigrationTransfersBytes) {
   EXPECT_GT(collapsed.network().total_bytes(), 0);
   EXPECT_GT(
       collapsed.network().BytesOfKind(MessageKind::kInferenceState), 0);
+}
+
+DistributedOptions HierOptions(MigrationMode mode) {
+  DistributedOptions opts = DistOptions(mode);
+  opts.site.hierarchical = true;
+  return opts;
+}
+
+TEST(HierarchicalTest, CaseStateMigratesOnTransfers) {
+  SupplyChainSim sim(ChainConfig(3, 1200));
+  sim.Run();
+  DistributedSystem flat(&sim, DistOptions(MigrationMode::kCollapsed));
+  flat.Run();
+  DistributedSystem hier(&sim, HierOptions(MigrationMode::kCollapsed));
+  hier.Run();
+
+  // The second level's collapsed state rides the same kInferenceState
+  // envelopes, so hierarchical transfers put strictly more migration
+  // bytes on the wire (the Table 5 accounting sees the overhead)...
+  EXPECT_GT(hier.network().BytesOfKind(MessageKind::kInferenceState),
+            flat.network().BytesOfKind(MessageKind::kInferenceState));
+  // ...while directory traffic is level-independent (pallets and cases
+  // were always registered/moved).
+  EXPECT_EQ(hier.network().BytesOfKind(MessageKind::kDirectory),
+            flat.network().BytesOfKind(MessageKind::kDirectory));
+
+  // Per-level accuracy at boundaries: case samples exist only for the
+  // hierarchical run, and the item level is untouched by the second
+  // engine -- its samples must be bit-identical to the flat replay's.
+  EXPECT_TRUE(flat.case_snapshots().empty());
+  ASSERT_FALSE(hier.case_snapshots().empty());
+  const double case_err = hier.AverageCaseContainmentErrorPercent();
+  EXPECT_FALSE(std::isnan(case_err));
+  EXPECT_GE(case_err, 0.0);
+  EXPECT_LE(case_err, 100.0);
+  EXPECT_EQ(flat.snapshots(), hier.snapshots());
+  EXPECT_TRUE(std::isnan(flat.AverageCaseContainmentErrorPercent()));
+}
+
+TEST(HierarchicalTest, NoneModeShipsNothingAtEitherLevel) {
+  SupplyChainSim sim(ChainConfig(3, 1200));
+  sim.Run();
+  DistributedSystem hier_none(&sim, HierOptions(MigrationMode::kNone));
+  hier_none.Run();
+  EXPECT_EQ(hier_none.network().BytesOfKind(MessageKind::kInferenceState),
+            0);
+  // The second level still runs locally: case accuracy is sampled even
+  // though no state migrates.
+  EXPECT_FALSE(hier_none.case_snapshots().empty());
+}
+
+TEST(HierarchicalTest, FullReadingsShipsCaseAndPalletHistories) {
+  SupplyChainSim sim(ChainConfig(3, 1200));
+  sim.Run();
+  DistributedSystem collapsed(&sim, HierOptions(MigrationMode::kCollapsed));
+  collapsed.Run();
+  DistributedSystem full(&sim, HierOptions(MigrationMode::kFullReadings));
+  full.Run();
+  EXPECT_GT(full.network().BytesOfKind(MessageKind::kInferenceState),
+            collapsed.network().BytesOfKind(MessageKind::kInferenceState));
+}
+
+TEST(HierarchicalTest, CasesOnlyTransfersStillShipCaseState) {
+  // Case-level-only tracking (no item tags): flat migration has nothing
+  // to ship, but the hierarchy's case→pallet state must still travel.
+  auto cfg = ChainConfig(3, 1200);
+  cfg.items_per_case = 0;
+  SupplyChainSim sim(cfg);
+  sim.Run();
+  ASSERT_FALSE(sim.transfers().empty());
+
+  DistributedSystem flat(&sim, DistOptions(MigrationMode::kCollapsed));
+  flat.Run();
+  EXPECT_EQ(flat.network().BytesOfKind(MessageKind::kInferenceState), 0);
+
+  DistributedSystem hier(&sim, HierOptions(MigrationMode::kCollapsed));
+  hier.Run();
+  EXPECT_GT(hier.network().BytesOfKind(MessageKind::kInferenceState), 0);
+  EXPECT_FALSE(hier.case_snapshots().empty());
+}
+
+TEST(HierarchicalTest, CentralizedServerRunsBothLevels) {
+  // The centralized baseline's server receives remote readings as
+  // kRawReadings batches; those must feed the pallet-level engine too, or
+  // the hierarchy would silently cover only site 0's local stream.
+  SupplyChainSim sim(ChainConfig(3, 1500));
+  sim.Run();
+  DistributedOptions opts = HierOptions(MigrationMode::kCollapsed);
+  opts.mode = ProcessingMode::kCentralized;
+  DistributedSystem central(&sim, opts);
+  central.Run();
+  ASSERT_FALSE(central.case_snapshots().empty());
+  // Cases at *remote* warehouses resolve to a pallet: evidence for them
+  // only ever arrives over the wire.
+  int remote_resolved = 0;
+  for (const ObjectTransfer& tr : sim.transfers()) {
+    if (tr.to <= 0) continue;  // want groups that reached sites 1/2
+    for (TagId c : tr.cases) {
+      if (central.BelievedPallet(c).valid()) ++remote_resolved;
+    }
+  }
+  EXPECT_GT(remote_resolved, 0);
+}
+
+TEST(HierarchicalTest, PalletResolvesTransitively) {
+  SupplyChainSim sim(ChainConfig(3, 1500));
+  sim.Run();
+  DistributedSystem flat(&sim, DistOptions(MigrationMode::kCollapsed));
+  flat.Run();
+  DistributedSystem hier(&sim, HierOptions(MigrationMode::kCollapsed));
+  hier.Run();
+
+  int resolved = 0;
+  for (TagId item : sim.all_items()) {
+    // Without the hierarchy there is no pallet level to answer from.
+    EXPECT_EQ(flat.BelievedPallet(item), kNoTag);
+    const TagId pallet = hier.BelievedPallet(item);
+    if (!pallet.valid()) continue;
+    ++resolved;
+    EXPECT_TRUE(pallet.is_pallet());
+    // Transitivity: the item's pallet is exactly its believed case's
+    // believed pallet.
+    const TagId c = hier.BelievedContainer(item);
+    ASSERT_TRUE(c.valid());
+    EXPECT_EQ(hier.BelievedPallet(c), pallet);
+  }
+  EXPECT_GT(resolved, 0);
 }
 
 TEST(DistributedTest, DirectoryTrafficIsCharged) {

@@ -80,9 +80,11 @@ SupplyChainConfig DeterminismConfig() {
 }
 
 DistributedOptions DeterminismOptions(int num_threads,
-                                      int directory_shards = 0) {
+                                      int directory_shards = 0,
+                                      bool hierarchical = false) {
   DistributedOptions opts;
   opts.site.migration = MigrationMode::kFullReadings;
+  opts.site.hierarchical = hierarchical;
   opts.site.streaming.inference_period = 300;
   opts.site.streaming.recent_history = 400;
   opts.attach_queries = true;
@@ -113,6 +115,7 @@ void ExpectBitIdentical(const DistributedSystem& reference,
                         const DistributedSystem& candidate,
                         const SupplyChainSim& sim) {
   EXPECT_EQ(reference.snapshots(), candidate.snapshots());
+  EXPECT_EQ(reference.case_snapshots(), candidate.case_snapshots());
 
   ExpectSameAlerts(reference.AllAlerts(0), candidate.AllAlerts(0));
   ExpectSameAlerts(reference.AllAlerts(1), candidate.AllAlerts(1));
@@ -157,6 +160,10 @@ void ExpectBitIdentical(const DistributedSystem& reference,
   for (TagId item : sim.all_items()) {
     EXPECT_EQ(reference.BelievedContainer(item),
               candidate.BelievedContainer(item));
+    EXPECT_EQ(reference.BelievedPallet(item), candidate.BelievedPallet(item));
+  }
+  for (TagId c : sim.all_cases()) {
+    EXPECT_EQ(reference.BelievedContainer(c), candidate.BelievedContainer(c));
   }
 }
 
@@ -252,6 +259,55 @@ TEST(DeterminismTest, ThreadAndShardMatrixMatchesBitForBit) {
   for (TagId item : sim.all_items()) {
     EXPECT_EQ(single->BelievedContainer(item),
               sharded->BelievedContainer(item));
+  }
+}
+
+// With the Appendix A.4 second level enabled, the determinism contract
+// must extend to the case→pallet engine: case accuracy samples, the
+// two-level migration payload bytes, and every transitive BelievedPallet
+// answer are bit-identical across {in-process, socket} × num_threads
+// {0, 1, 4}.
+TEST(DeterminismTest, HierarchicalTransportThreadMatrixMatchesBitForBit) {
+  SupplyChainConfig cfg = DeterminismConfig();
+  SupplyChainSim sim(cfg);
+  sim.Run();
+  ASSERT_FALSE(sim.transfers().empty());
+
+  ProductCatalog catalog;
+  for (TagId item : sim.all_items()) {
+    catalog.RegisterProduct(item,
+                            ProductInfo{"frozen_food", true, false, false});
+  }
+  for (TagId c : sim.all_cases()) {
+    catalog.RegisterContainer(c, ContainerInfo{ContainerClass::kPlain});
+  }
+  SensorConfig scfg;
+  Rng rng(5);
+  auto sensors = GenerateSensorStream(scfg, sim.layout().num_locations(),
+                                      cfg.horizon, rng);
+
+  std::unique_ptr<DistributedSystem> reference;
+  for (TransportKind transport :
+       {TransportKind::kInProcess, TransportKind::kSocket}) {
+    for (int threads : {0, 1, 4}) {
+      SCOPED_TRACE("transport=" + ToString(transport) +
+                   " threads=" + std::to_string(threads));
+      DistributedOptions opts = DeterminismOptions(threads, /*shards=*/4,
+                                                   /*hierarchical=*/true);
+      opts.transport = transport;
+      auto sys = std::make_unique<DistributedSystem>(&sim, opts, &catalog,
+                                                     &sensors);
+      sys->Run();
+      if (reference == nullptr) {
+        ASSERT_FALSE(sys->snapshots().empty());
+        ASSERT_FALSE(sys->case_snapshots().empty());
+        EXPECT_GT(
+            sys->network().BytesOfKind(MessageKind::kInferenceState), 0);
+        reference = std::move(sys);
+        continue;
+      }
+      ExpectBitIdentical(*reference, *sys, sim);
+    }
   }
 }
 
