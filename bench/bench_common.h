@@ -12,15 +12,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/smurf_star.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
+#include "dist/network.h"
 #include "inference/calibration.h"
 #include "inference/evaluate.h"
 #include "inference/streaming.h"
+#include "obs/report.h"
 #include "sim/lab.h"
 #include "sim/supply_chain.h"
 
@@ -50,6 +53,32 @@ inline void PrintHeader(const std::string& title, const std::string& paper) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf("reproduces: %s (scale=%d; see EXPERIMENTS.md)\n",
               paper.c_str(), Scale());
+}
+
+/// Run report pre-filled with the fields every bench shares (scale,
+/// transport backend, hardware concurrency), so BENCH_*.json files carry a
+/// uniform header and diff cleanly across machines and runs. Benches add
+/// their rows with AddRow and a system's telemetry with
+/// `report.AddMetrics(sys.telemetry()->registry())`, then FinishReport.
+inline obs::RunReport MakeReport(const std::string& bench_name) {
+  obs::RunReport report(bench_name);
+  report.Set("scale", Scale());
+  report.Set("transport", ToString(TransportKindFromEnv()));
+  report.Set("hardware_concurrency",
+             static_cast<int64_t>(std::thread::hardware_concurrency()));
+  return report;
+}
+
+/// Writes BENCH_<name>.json into the working directory. A write failure
+/// costs the report, not the bench run.
+inline void FinishReport(const obs::RunReport& report,
+                         const std::string& bench_name) {
+  const Status st = obs::WriteReport(report, bench_name);
+  if (st.ok()) {
+    std::printf("report: BENCH_%s.json\n", bench_name.c_str());
+  } else {
+    std::fprintf(stderr, "report not written: %s\n", st.ToString().c_str());
+  }
 }
 
 /// Single-warehouse workload approximating the paper's Appendix C.1 setup,

@@ -64,12 +64,17 @@ struct ReplayResult {
   double avg_error = 0.0;
 };
 
-ReplayResult RunReplay(const SupplyChainSim& sim, int num_threads) {
+ReplayResult RunReplay(const SupplyChainSim& sim, int num_threads,
+                       bool collect_metrics = true) {
   DistributedOptions opts;
   opts.site.migration = MigrationMode::kCollapsed;
   opts.site.streaming.inference_period = 300;
   opts.site.streaming.recent_history = 400;
   opts.num_threads = num_threads;
+  // The sweep runs dozens of replays; none of them should fight over one
+  // RFID_TRACE file (bench_table5 owns the representative trace).
+  opts.trace = false;
+  opts.collect_metrics = collect_metrics;
   DistributedSystem sys(&sim, opts);
   Stopwatch timer;
   sys.Run();
@@ -124,17 +129,7 @@ int Main() {
   // the in-process fabric or the loopback socket backend.
   const std::string transport = ToString(TransportKindFromEnv());
   std::printf("transport backend: %s\n", transport.c_str());
-  FILE* json = std::fopen("BENCH_scalability.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\n  \"bench\": \"scalability\",\n"
-                 "  \"scale\": %d,\n  \"hardware_concurrency\": %u,\n"
-                 "  \"transport\": \"%s\",\n"
-                 "  \"replay\": [\n",
-                 bench::Scale(), std::thread::hardware_concurrency(),
-                 transport.c_str());
-  }
-  bool first_row = true;
+  obs::RunReport report = bench::MakeReport("scalability");
   for (int sites : {4, 8}) {
     SupplyChainSim sim(ChainOfSites(sites, 9100 + static_cast<uint64_t>(
                                                sites)));
@@ -160,25 +155,17 @@ int Main() {
                          TablePrinter::Fmt(speedup, 2),
                          std::to_string(r.total_bytes),
                          deterministic ? "yes" : "NO"});
-      if (json != nullptr) {
-        std::fprintf(json,
-                     "%s    {\"sites\": %d, \"threads\": %d, "
-                     "\"seconds\": %.6f, \"epochs_per_sec\": %.2f, "
-                     "\"speedup_vs_serial\": %.3f, \"total_bytes\": %lld, "
-                     "\"bytes_match_serial\": %s, "
-                     "\"matches_serial\": %s}",
-                     first_row ? "" : ",\n", sites, threads, r.seconds, eps,
-                     speedup, static_cast<long long>(r.total_bytes),
-                     r.total_bytes == serial.total_bytes ? "true" : "false",
-                     deterministic ? "true" : "false");
-        first_row = false;
-      }
+      obs::JsonValue row = obs::JsonValue::Object();
+      row.Set("sites", sites);
+      row.Set("threads", threads);
+      row.Set("seconds", r.seconds);
+      row.Set("epochs_per_sec", eps);
+      row.Set("speedup_vs_serial", speedup);
+      row.Set("total_bytes", r.total_bytes);
+      row.Set("bytes_match_serial", r.total_bytes == serial.total_bytes);
+      row.Set("matches_serial", deterministic);
+      report.AddRow("replay", std::move(row));
     }
-  }
-  if (json != nullptr) {
-    std::fprintf(json, "\n  ]\n}\n");
-    std::fclose(json);
-    std::printf("wrote BENCH_scalability.json\n");
   }
   dist_table.Print();
   std::printf(
@@ -186,6 +173,37 @@ int Main() {
       "-- per-site windows run concurrently and join at transfer/flush\n"
       "boundaries -- while bytes and error stay bit-identical (the\n"
       "determinism contract; enforced by executor_test).\n\n");
+
+  // ---- Telemetry overhead: collect_metrics on vs off ----
+  // The instrumentation budget is "<2% when off, low single digits when
+  // on"; measure both against the larger sweep workload so EXPERIMENTS.md
+  // can report a number instead of a promise. Alternating on/off reps
+  // spreads thermal/cache drift across both sides.
+  std::printf("--- telemetry overhead (8 sites, 4 threads) ---\n");
+  {
+    SupplyChainSim sim(ChainOfSites(8, 9108));
+    sim.Run();
+    constexpr int kReps = 3;
+    OnlineStats on_s, off_s;
+    for (int rep = 0; rep < kReps; ++rep) {
+      on_s.Add(RunReplay(sim, 4, /*collect_metrics=*/true).seconds);
+      off_s.Add(RunReplay(sim, 4, /*collect_metrics=*/false).seconds);
+    }
+    const double overhead_pct =
+        off_s.Mean() > 0.0
+            ? 100.0 * (on_s.Mean() - off_s.Mean()) / off_s.Mean()
+            : 0.0;
+    std::printf("telemetry on:  %s\n", on_s.Summary().c_str());
+    std::printf("telemetry off: %s\n", off_s.Summary().c_str());
+    std::printf("overhead with collection on: %.2f%%\n\n", overhead_pct);
+    obs::JsonValue overhead = obs::JsonValue::Object();
+    overhead.Set("reps", kReps);
+    overhead.Set("telemetry_on_mean_seconds", on_s.Mean());
+    overhead.Set("telemetry_off_mean_seconds", off_s.Mean());
+    overhead.Set("overhead_percent", overhead_pct);
+    report.AddRow("telemetry_overhead", std::move(overhead));
+  }
+  bench::FinishReport(report, "scalability");
   return 0;
 }
 

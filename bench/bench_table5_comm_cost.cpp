@@ -50,24 +50,31 @@ int Main() {
   bool backend_invariant = false;
   int64_t cr_messages = 0;
   int64_t cr_total_bytes = 0;
+  obs::RunReport report = bench::MakeReport("table5_comm_cost");
   for (double rr : {0.6, 0.7, 0.8, 0.9}) {
     SupplyChainSim sim(bench::MultiWarehouse(
         rr, /*anomaly_interval=*/0, /*horizon=*/2400,
         /*seed=*/7000 + static_cast<uint64_t>(rr * 10)));
     sim.Run();
 
+    // Many systems run back to back; only the representative CR run at the
+    // last read rate records the RFID_TRACE Chrome trace (trace = false
+    // elsewhere keeps earlier runs from overwriting it).
     DistributedOptions central;
     central.mode = ProcessingMode::kCentralized;
+    central.trace = false;
     DistributedSystem sys_central(&sim, central);
     sys_central.Run();
 
     DistributedOptions none;
     none.site.migration = MigrationMode::kNone;
+    none.trace = false;
     DistributedSystem sys_none(&sim, none);
     sys_none.Run();
 
     DistributedOptions cr;
     cr.site.migration = MigrationMode::kCollapsed;
+    cr.trace = rr == 0.9;
     DistributedSystem sys_cr(&sim, cr);
     sys_cr.Run();
 
@@ -76,6 +83,7 @@ int Main() {
     // spread across the per-shard links).
     DistributedOptions cr_nocache = cr;
     cr_nocache.directory_cache = false;
+    cr_nocache.trace = false;
     DistributedSystem sys_cr_nc(&sim, cr_nocache);
     sys_cr_nc.Run();
 
@@ -106,12 +114,35 @@ int Main() {
                           : 0.0,
              1)});
 
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("read_rate", rr);
+    row.Set("centralized_bytes", central_bytes);
+    row.Set("none_bytes", sys_none.network().total_bytes());
+    row.Set("cr_bytes", cr_bytes);
+    row.Set("cr_inference_bytes",
+            sys_cr.network().BytesOfKind(MessageKind::kInferenceState));
+    row.Set("cr_directory_bytes", dir_bytes);
+    row.Set("cr_directory_nocache_bytes", dir_nocache_bytes);
+    row.Set("directory_cache_hit_percent", hit_pct);
+    report.AddRow("read_rates", std::move(row));
+
+    // The representative CR run's phase histograms and per-kind wire
+    // counters land in the report (and its Chrome trace, when RFID_TRACE
+    // is set, in the trace file named under "trace_path").
+    if (rr == 0.9 && sys_cr.telemetry() != nullptr) {
+      report.AddMetrics(sys_cr.telemetry()->registry());
+      if (sys_cr.telemetry()->tracing()) {
+        report.Set("trace_path", sys_cr.telemetry()->trace_path());
+      }
+    }
+
     // Backend invariance (last read rate): the same CR replay over real
     // loopback sockets must put bit-identical byte/message totals on the
     // wire -- framing makes the wire size a pure function of the payload.
     if (rr == 0.9) {
       DistributedOptions cr_socket = cr;
       cr_socket.transport = TransportKind::kSocket;
+      cr_socket.trace = false;
       DistributedSystem sys_cr_socket(&sim, cr_socket);
       sys_cr_socket.Run();
       backend_invariant =
@@ -175,6 +206,7 @@ int Main() {
       "expected shape: hash partitioning spreads updates/lookups/bytes\n"
       "roughly evenly across shards (no single-node hotspot); the sum row\n"
       "equals the CR(dir) column above.\n\n");
+  bench::FinishReport(report, "table5_comm_cost");
   return 0;
 }
 

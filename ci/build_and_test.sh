@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: the ROADMAP tier-1 verify, a socket-transport pass over
-# the distributed layer (the same binaries re-run with every Network on
-# the loopback socket backend -- results must be bit-identical), then an
+# CI entry point: the ROADMAP tier-1 verify, a traced telemetry smoke run
+# (Chrome trace + BENCH_*.json report validated with python3), a
+# socket-transport pass over the distributed layer (the same binaries
+# re-run with every Network on the loopback socket backend -- results must
+# be bit-identical), then an
 # ASan/UBSan Debug pass over the unit/integration suite (plus the socket
 # pass under ASan, which also leak-checks the fd/buffer handling), then a
 # ThreadSanitizer Debug pass over the distributed layer (the parallel site
@@ -42,6 +44,33 @@ cmake -B build -S .
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
+echo "==> Telemetry: traced smoke bench + machine-readable report validate"
+# One traced run of the comm-cost bench: the Chrome trace must be valid
+# JSON with trace slices, and the run report must carry the phase
+# histograms and per-kind wire counters (the observability contract).
+(cd build && RFID_TRACE=trace_ci.json RFID_BENCH_MAX_HORIZON=900 \
+  ./bench_table5_comm_cost >/dev/null)
+python3 - <<'EOF'
+import json
+trace = json.load(open("build/trace_ci.json"))
+events = trace["traceEvents"]
+slices = [e for e in events if e.get("ph") == "X"]
+assert trace["displayTimeUnit"] == "ms"
+assert slices, "trace has no duration slices"
+assert all("epoch" in e["args"] for e in slices)
+report = json.load(open("build/BENCH_table5_comm_cost.json"))
+assert report["report_version"] == 1
+hists = report["metrics"]["histograms"]
+assert hists["phase/inference"]["count"] > 0
+assert any(k.startswith("phase/") and hists[k]["p99"] is not None
+           for k in hists)
+counters = report["metrics"]["counters"]
+assert any(k.startswith("net/bytes/kind=") for k in counters)
+print("trace: %d slices; report: %d histograms, %d counters -- OK"
+      % (len(slices), len(hists), len(counters)))
+EOF
+rm -f build/trace_ci.json
+
 echo "==> Socket transport: distributed suites over real loopback sockets"
 # smoke_bench_hierarchical rides along: the hierarchical replay's own
 # {in-process, socket} x threads determinism matrix, re-run with every
@@ -73,9 +102,11 @@ echo "==> Debug + TSan: distributed executor + determinism + ONS tests"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DRFID_TSAN=ON
+# obs_test rides along: the metrics registry's lock-free hot path and
+# concurrent-registration contract are exactly what TSan is for.
 cmake --build build-tsan -j "${JOBS}" \
-  --target dist_test executor_test ons_test
+  --target dist_test executor_test ons_test obs_test
 (cd build-tsan && \
-  ctest --output-on-failure -R '^(dist_test|executor_test|ons_test)$')
+  ctest --output-on-failure -R '^(dist_test|executor_test|ons_test|obs_test)$')
 
 echo "==> CI green"

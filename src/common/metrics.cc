@@ -1,0 +1,15 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace rfid {
+
+std::string OnlineStats::Summary() const {
+  if (n_ == 0) return "n=0";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "n=%lld mean=%.3f min=%.3f max=%.3f",
+                static_cast<long long>(n_), mean_, min_, max_);
+  return buf;
+}
+
+}  // namespace rfid

@@ -1,10 +1,17 @@
 // Evaluation metrics used throughout Section 5 / Appendix C.1 of the paper:
 // error rate (vs. ground truth), and precision/recall/F-measure for
 // change-point detection.
+//
+// Empty accumulators answer NaN, never 0: "no decisions scored" must not
+// print as a perfect score (the repo-wide NaN-when-unmeasured convention --
+// TablePrinter renders non-finite as "n/a", the JSON emitter as null).
 #ifndef RFID_COMMON_METRICS_H_
 #define RFID_COMMON_METRICS_H_
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
+#include <string>
 
 namespace rfid {
 
@@ -24,10 +31,11 @@ class ErrorRate {
   int64_t errors() const { return errors_; }
   int64_t total() const { return total_; }
 
-  /// Error rate in percent; 0 when empty.
+  /// Error rate in percent; NaN when nothing has been scored.
   double Percent() const {
-    return total_ == 0 ? 0.0 : 100.0 * static_cast<double>(errors_) /
-                                   static_cast<double>(total_);
+    return total_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                       : 100.0 * static_cast<double>(errors_) /
+                             static_cast<double>(total_);
   }
 
  private:
@@ -47,21 +55,30 @@ class FMeasure {
   int64_t fp() const { return fp_; }
   int64_t fn() const { return fn_; }
 
+  /// NaN when no positive was ever predicted (unmeasured, not perfect).
   double Precision() const {
-    return (tp_ + fp_) == 0 ? 0.0
+    return (tp_ + fp_) == 0 ? std::numeric_limits<double>::quiet_NaN()
                             : static_cast<double>(tp_) /
                                   static_cast<double>(tp_ + fp_);
   }
+  /// NaN when no positive ever existed to recall.
   double Recall() const {
-    return (tp_ + fn_) == 0 ? 0.0
+    return (tp_ + fn_) == 0 ? std::numeric_limits<double>::quiet_NaN()
                             : static_cast<double>(tp_) /
                                   static_cast<double>(tp_ + fn_);
   }
-  /// F-measure in percent (paper reports percentages).
+  /// F-measure in percent (paper reports percentages). NaN only when no
+  /// count was ever recorded; measured-but-zero (tp == 0 with fp or fn
+  /// present) is a real 0, so it is computed from the counts directly
+  /// rather than letting a NaN precision or recall leak through.
   double Percent() const {
-    double p = Precision();
-    double r = Recall();
-    return (p + r) == 0.0 ? 0.0 : 100.0 * 2.0 * p * r / (p + r);
+    if (tp_ + fp_ + fn_ == 0) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    // F = 2*P*R/(P+R) rewritten on raw counts: 2tp / (2tp + fp + fn).
+    const double denom = static_cast<double>(2 * tp_ + fp_ + fn_);
+    return denom == 0.0 ? 0.0
+                        : 100.0 * 2.0 * static_cast<double>(tp_) / denom;
   }
 
  private:
@@ -70,7 +87,8 @@ class FMeasure {
   int64_t fn_ = 0;
 };
 
-/// Welford online mean/variance, for timing summaries in benches.
+/// Welford online mean/variance (plus range), for timing summaries in
+/// benches and the telemetry layer's report prose.
 class OnlineStats {
  public:
   void Add(double x) {
@@ -78,17 +96,32 @@ class OnlineStats {
     double delta = x - mean_;
     mean_ += delta / static_cast<double>(n_);
     m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
   }
   int64_t count() const { return n_; }
   double Mean() const { return mean_; }
   double Variance() const {
     return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
   }
+  double Stddev() const { return std::sqrt(Variance()); }
+  /// Smallest / largest sample; NaN when empty.
+  double Min() const {
+    return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  double Max() const {
+    return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
+
+  /// One-line digest for logs: "n=5 mean=1.200 min=1.000 max=1.500".
+  std::string Summary() const;
 
  private:
   int64_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace rfid

@@ -1,6 +1,7 @@
 #include "dist/distributed.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <numeric>
@@ -29,7 +30,17 @@ DistributedSystem::DistributedSystem(
       sensors_(sensors) {
   const int num_processors =
       centralized() ? 1 : sim_->config().num_warehouses;
-  // Transport first: the backend must be in place before any frame is
+  // Telemetry before the transport, so the backend is instrumented from
+  // the first frame. Disabled = null pointer everywhere downstream.
+  if (options_.collect_metrics) {
+    const std::string trace_path =
+        !options_.trace ? std::string()
+        : options_.trace_path.empty() ? obs::TracePathFromEnv()
+                                      : options_.trace_path;
+    telemetry_ = std::make_unique<obs::Telemetry>(trace_path);
+  }
+  network_.SetTelemetry(telemetry_.get());
+  // Transport next: the backend must be in place before any frame is
   // sent. The socket backend binds one loopback listener per processor
   // (remote sites in centralized mode only ever send, so they need none).
   network_.ConfigureTransport(options_.transport, num_processors);
@@ -52,6 +63,7 @@ DistributedSystem::DistributedSystem(
     sites_.push_back(std::make_unique<Site>(
         s, &sim_->model(), &sim_->schedule(), &network_, options_.site));
     Site* site = sites_.back().get();
+    site->SetTelemetry(telemetry_.get());
     network_.RegisterHandler(
         s, [site](SiteId from, MessageKind kind,
                   const std::vector<uint8_t>& payload) {
@@ -168,34 +180,40 @@ void DistributedSystem::Run() {
     // parallel phases below only ever see site-local pending queues.
     network_.AdvanceClock(t);
     ons_.AdvanceClock(t);
-    for (SiteId s = 0; s < static_cast<SiteId>(sites_.size()); ++s) {
-      network_.DeliverDue(s, t);
+    {
+      obs::PhaseTimer span(telemetry_.get(), obs::Phase::kQueueDrain, t);
+      for (SiteId s = 0; s < static_cast<SiteId>(sites_.size()); ++s) {
+        network_.DeliverDue(s, t);
+      }
     }
 
     // -- Serial: ownership + directory bookkeeping due at t.
-    while (inj < injections.size() && injections[inj].first <= t) {
-      owner_[injections[inj].second] = 0;
-      ons_.Register(injections[inj].second, 0);
-      ++inj;
-    }
+    {
+      obs::PhaseTimer span(telemetry_.get(), obs::Phase::kDirectory, t);
+      while (inj < injections.size() && injections[inj].first <= t) {
+        owner_[injections[inj].second] = 0;
+        ons_.Register(injections[inj].second, 0);
+        ++inj;
+      }
 
-    while (arr < by_arrive.size() &&
-           transfers[by_arrive[arr]].arrive <= t) {
-      const ObjectTransfer& tr = transfers[by_arrive[arr]];
-      ++arr;
-      if (tr.to == kNoSite) continue;
-      // The destination locates the group's previous owner before taking
-      // over (the handoff's "who do I pull stragglers from" resolution).
-      // Nothing moved since the departure-time resolution, so with the
-      // resolver cache enabled this repeat costs zero wire bytes.
-      if (!centralized()) ons_.Resolve(tr.pallet, tr.to);
-      auto reassign = [&](TagId tag) {
-        owner_[tag] = tr.to;
-        ons_.Register(tag, tr.to);
-      };
-      reassign(tr.pallet);
-      for (TagId c : tr.cases) reassign(c);
-      for (TagId o : tr.items) reassign(o);
+      while (arr < by_arrive.size() &&
+             transfers[by_arrive[arr]].arrive <= t) {
+        const ObjectTransfer& tr = transfers[by_arrive[arr]];
+        ++arr;
+        if (tr.to == kNoSite) continue;
+        // The destination locates the group's previous owner before taking
+        // over (the handoff's "who do I pull stragglers from" resolution).
+        // Nothing moved since the departure-time resolution, so with the
+        // resolver cache enabled this repeat costs zero wire bytes.
+        if (!centralized()) ons_.Resolve(tr.pallet, tr.to);
+        auto reassign = [&](TagId tag) {
+          owner_[tag] = tr.to;
+          ons_.Register(tag, tr.to);
+        };
+        reassign(tr.pallet);
+        for (TagId c : tr.cases) reassign(c);
+        for (TagId o : tr.items) reassign(o);
+      }
     }
 
     const bool boundary = period > 0 && t > 0 && t % period == 0;
@@ -215,6 +233,8 @@ void DistributedSystem::Run() {
       }
       executor.Run(ready.size(), [&](size_t i) {
         const size_t s = ready[i];
+        obs::PhaseTimer span(telemetry_.get(), obs::Phase::kWindowCompute,
+                             t, obs::kFirstSiteTrack + static_cast<int>(s));
         sites_[s]->DeliverArrivals(t);
         const std::vector<RawReading>& rs = sim_->site_trace(
             static_cast<SiteId>(s)).readings();
@@ -224,24 +244,30 @@ void DistributedSystem::Run() {
         sites_[s]->ObserveBatch(rs.data() + begin, c - begin);
       });
     } else {
-      // One real processor: the window phase stays on the replay thread.
-      sites_[0]->DeliverArrivals(t);
-      for (SiteId s = 0; s < num_warehouses; ++s) {
-        const std::vector<RawReading>& rs = sim_->site_trace(s).readings();
-        size_t& c = cursor[static_cast<size_t>(s)];
-        const size_t begin = c;
-        while (c < rs.size() && rs[c].time <= t) ++c;
-        if (c == begin) continue;
-        if (s == 0) {
-          // Site 0 hosts the central server; its readings stay local.
-          sites_[0]->ObserveBatch(rs.data() + begin, c - begin);
-        } else {
-          batch[static_cast<size_t>(s)].insert(
-              batch[static_cast<size_t>(s)].end(), rs.begin() + begin,
-              rs.begin() + c);
+      {
+        // One real processor: the window phase stays on the replay thread.
+        obs::PhaseTimer span(telemetry_.get(), obs::Phase::kWindowCompute,
+                             t, obs::kFirstSiteTrack);
+        sites_[0]->DeliverArrivals(t);
+        for (SiteId s = 0; s < num_warehouses; ++s) {
+          const std::vector<RawReading>& rs =
+              sim_->site_trace(s).readings();
+          size_t& c = cursor[static_cast<size_t>(s)];
+          const size_t begin = c;
+          while (c < rs.size() && rs[c].time <= t) ++c;
+          if (c == begin) continue;
+          if (s == 0) {
+            // Site 0 hosts the central server; its readings stay local.
+            sites_[0]->ObserveBatch(rs.data() + begin, c - begin);
+          } else {
+            batch[static_cast<size_t>(s)].insert(
+                batch[static_cast<size_t>(s)].end(), rs.begin() + begin,
+                rs.begin() + c);
+          }
         }
       }
       if (boundary || t == horizon) {
+        obs::PhaseTimer span(telemetry_.get(), obs::Phase::kFlushEncode, t);
         for (SiteId s = 1; s < num_warehouses; ++s) {
           std::vector<RawReading>& b = batch[static_cast<size_t>(s)];
           if (b.empty()) continue;
@@ -261,48 +287,67 @@ void DistributedSystem::Run() {
     bool any_ran = false;
     if (boundary) {
       executor.Run(sites_.size(), [&](size_t s) {
+        obs::PhaseTimer span(telemetry_.get(), obs::Phase::kInference, t,
+                             obs::kFirstSiteTrack + static_cast<int>(s));
         ran[s] = sites_[s]->AdvanceTo(t);
       });
       for (int r : ran) any_ran = any_ran || r > 0;
     }
 
     // -- Serial boundary phase: exports, directory updates, accounting.
-    while (dep < by_depart.size() &&
-           transfers[by_depart[dep]].depart <= t) {
-      const ObjectTransfer& tr = transfers[by_depart[dep]];
-      ++dep;
-      if (centralized()) {
-        if (tr.to == kNoSite) sites_[0]->Retire(tr);
-      } else {
-        // Locate the exporting site through the directory, the way a real
-        // deployment resolves an object's current owner; the destination
-        // (or, for supply-chain exits, the departing site) is the charged
-        // requester. The Resolve is wire traffic; the export itself is
-        // driven by the transfer record: with exact invalidation the two
-        // always agree, while a TTL-stale answer may name a *previous*
-        // owner -- which a real deployment handles by chasing that site's
-        // redirect. Either way the state leaves the site that holds it.
-        ons_.Resolve(tr.pallet, tr.to != kNoSite ? tr.to : tr.from);
-        const SiteId from = tr.from;
-        if (from >= 0 && from < static_cast<SiteId>(sites_.size())) {
-          sites_[static_cast<size_t>(from)]->ExportTransfer(tr);
+    {
+      obs::PhaseTimer span(telemetry_.get(), obs::Phase::kDirectory, t);
+      while (dep < by_depart.size() &&
+             transfers[by_depart[dep]].depart <= t) {
+        const ObjectTransfer& tr = transfers[by_depart[dep]];
+        ++dep;
+        if (centralized()) {
+          if (tr.to == kNoSite) sites_[0]->Retire(tr);
+        } else {
+          // Locate the exporting site through the directory, the way a
+          // real deployment resolves an object's current owner; the
+          // destination (or, for supply-chain exits, the departing site)
+          // is the charged requester. The Resolve is wire traffic; the
+          // export itself is driven by the transfer record: with exact
+          // invalidation the two always agree, while a TTL-stale answer
+          // may name a *previous* owner -- which a real deployment handles
+          // by chasing that site's redirect. Either way the state leaves
+          // the site that holds it.
+          ons_.Resolve(tr.pallet, tr.to != kNoSite ? tr.to : tr.from);
+          const SiteId from = tr.from;
+          if (from >= 0 && from < static_cast<SiteId>(sites_.size())) {
+            sites_[static_cast<size_t>(from)]->ExportTransfer(tr);
+          }
         }
-      }
-      if (tr.to == kNoSite) {
-        auto drop = [&](TagId tag) {
-          owner_.erase(tag);
-          ons_.Unregister(tag);
-        };
-        drop(tr.pallet);
-        for (TagId c : tr.cases) drop(c);
-        for (TagId o : tr.items) drop(o);
+        if (tr.to == kNoSite) {
+          auto drop = [&](TagId tag) {
+            owner_.erase(tag);
+            ons_.Unregister(tag);
+          };
+          drop(tr.pallet);
+          for (TagId c : tr.cases) drop(c);
+          for (TagId o : tr.items) drop(o);
+        }
       }
     }
 
     // Sample accuracy whenever inference ran, and always at the horizon:
     // when the horizon is not a multiple of the inference period the final
     // stretch of the run would otherwise never be measured.
-    if (any_ran || t == horizon) RecordSnapshot(t, &executor);
+    if (any_ran || t == horizon) {
+      obs::PhaseTimer span(telemetry_.get(), obs::Phase::kSnapshotScan, t);
+      RecordSnapshot(t, &executor);
+    }
+  }
+
+  if (telemetry_ != nullptr && telemetry_->tracing()) {
+    const Status st = telemetry_->sink()->WriteJson(
+        telemetry_->trace_path(), num_processors());
+    if (!st.ok()) {
+      // A bad trace path should cost the diagnostics, not the replay.
+      std::fprintf(stderr, "rfid: trace not written: %s\n",
+                   st.ToString().c_str());
+    }
   }
 }
 
@@ -370,10 +415,15 @@ ErrorRate DistributedSystem::ScanContainment(const std::vector<TagId>& tags,
 }
 
 void DistributedSystem::RecordSnapshot(Epoch t, SiteExecutor* executor) {
-  snapshots_.push_back(ErrorSnapshot{
-      t, ScanContainment(sim_->all_items(), t, executor,
-                         /*contained_only=*/false)
-             .Percent()});
+  // A boundary with no items present records no sample: Percent() is NaN
+  // when unmeasured, and NaN samples would poison the snapshot series
+  // (NaN != NaN breaks the bit-identity comparisons; a mean over them is
+  // meaningless).
+  const ErrorRate item_err = ScanContainment(sim_->all_items(), t, executor,
+                                             /*contained_only=*/false);
+  if (item_err.total() > 0) {
+    snapshots_.push_back(ErrorSnapshot{t, item_err.Percent()});
+  }
   if (options_.site.hierarchical) {
     // The case level scores only truly contained cases (see
     // case_snapshots()); a boundary with none records no sample.

@@ -48,6 +48,7 @@
 #include "dist/network.h"
 #include "dist/ons.h"
 #include "dist/site.h"
+#include "obs/telemetry.h"
 #include "query/queries.h"
 #include "sim/supply_chain.h"
 #include "trace/product_catalog.h"
@@ -96,6 +97,18 @@ struct DistributedOptions {
   /// transfer record (a stale directory answer costs the same wire bytes
   /// but never mis-routes the state).
   Epoch directory_cache_ttl = 0;
+  /// Collect phase histograms and per-kind wire counters during Run
+  /// (obs/telemetry.h). Off = no Telemetry is constructed and every
+  /// instrumentation point reduces to a null check -- the configuration
+  /// the <2% overhead budget is measured against. Telemetry never feeds
+  /// back into results either way (executor_test proves bit-identity).
+  bool collect_metrics = true;
+  /// Also record a Chrome trace (chrome://tracing / Perfetto) and write it
+  /// here at the end of Run. Empty = consult the RFID_TRACE environment
+  /// variable; set `trace` to false to ignore both (benches that construct
+  /// many systems trace only one representative run).
+  std::string trace_path;
+  bool trace = true;
 };
 
 /// Drives a finished simulation through the distributed (or centralized)
@@ -120,6 +133,10 @@ class DistributedSystem {
   const Network& network() const { return network_; }
   const Ons& ons() const { return ons_; }
   const DistributedOptions& options() const { return options_; }
+
+  /// This run's telemetry bundle (phase histograms, per-kind wire
+  /// counters, optional trace sink); nullptr when collect_metrics is off.
+  const obs::Telemetry* telemetry() const { return telemetry_.get(); }
 
   /// Number of site processors (1 in centralized mode).
   int num_processors() const { return static_cast<int>(sites_.size()); }
@@ -207,6 +224,9 @@ class DistributedSystem {
   const ProductCatalog* catalog_;
   const std::vector<SensorReading>* sensors_;
 
+  /// Owned per-run telemetry; constructed before the network so transport
+  /// instrumentation is live from the first frame. Null when disabled.
+  std::unique_ptr<obs::Telemetry> telemetry_;
   Network network_;
   Ons ons_;
   std::vector<std::unique_ptr<Site>> sites_;

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "dist/transport_socket.h"
+#include "obs/telemetry.h"
 
 namespace rfid {
 
@@ -60,9 +61,19 @@ void Network::ConfigureTransport(TransportKind kind, int num_sites) {
     case TransportKind::kInProcess:
       transport_ = std::make_unique<InProcessTransport>();
       break;
-    case TransportKind::kSocket:
-      transport_ = std::make_unique<SocketTransport>(num_sites);
+    case TransportKind::kSocket: {
+      auto socket = std::make_unique<SocketTransport>(num_sites);
+      socket->SetTelemetry(telemetry_);
+      transport_ = std::move(socket);
       break;
+    }
+  }
+}
+
+void Network::SetTelemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (transport_kind_ == TransportKind::kSocket) {
+    static_cast<SocketTransport*>(transport_.get())->SetTelemetry(telemetry);
   }
 }
 
@@ -90,6 +101,7 @@ Epoch Network::LatencyOf(SiteId from, SiteId to, size_t wire_bytes) const {
 
 size_t Network::Send(SiteId from, SiteId to, MessageKind kind,
                      const std::vector<uint8_t>& payload) {
+  obs::PhaseTimer span(telemetry_, obs::Phase::kTransportSend, now_);
   Frame frame;
   frame.from = from;
   frame.to = to;
@@ -111,6 +123,9 @@ size_t Network::Send(SiteId from, SiteId to, MessageKind kind,
   total_messages_ += 1;
   in_flight_bytes_ += n;
   in_flight_messages_ += 1;
+  if (telemetry_ != nullptr) {
+    telemetry_->AddWireBytes(static_cast<int>(kind), ToString(kind), n);
+  }
   return wire;
 }
 

@@ -37,6 +37,10 @@
 
 namespace rfid {
 
+namespace obs {
+class Telemetry;
+}  // namespace obs
+
 /// Synthetic node id hosting ONS directory shards when the Ons knows no
 /// hosting sites (OnsOptions::num_sites == 0, e.g. standalone unit tests).
 /// No site registers a handler for it, so such directory messages are
@@ -134,6 +138,12 @@ class Network {
   /// old backend (checked).
   void ConfigureTransport(TransportKind kind, int num_sites);
 
+  /// Attaches the run's telemetry (send-phase timers, per-kind wire
+  /// counters; obs/telemetry.h) to this network and its socket backend,
+  /// current or future. Null detaches. Observation only -- accounting and
+  /// delivery are identical with or without it.
+  void SetTelemetry(obs::Telemetry* telemetry);
+
   /// Sets the link latency model. Arrival epochs are computed as frames
   /// are drained from the transport, so the model must be in place before
   /// anything is in flight (checked): reconfiguring mid-flight would
@@ -215,6 +225,7 @@ class Network {
 
   std::unique_ptr<Transport> transport_;
   TransportKind transport_kind_ = TransportKind::kInProcess;
+  obs::Telemetry* telemetry_ = nullptr;
   NetworkOptions options_;
   Epoch now_ = 0;
   uint64_t next_seq_ = 0;

@@ -5,6 +5,7 @@
 
 #include "common/compress.h"
 #include "common/serde.h"
+#include "obs/telemetry.h"
 #include "query/state_sharing.h"
 #include "trace/trace_io.h"
 
@@ -313,6 +314,9 @@ void Site::ExportTransfer(const ObjectTransfer& tr) {
       !tr.items.empty() ||
       (pallet_streaming_ != nullptr && !tr.cases.empty());
   if (options_.migration != MigrationMode::kNone && has_level_state) {
+    // Spans the whole export -- state collect, envelope encode (deflate
+    // inside), and the Send -- the serialization cost of a migration.
+    obs::PhaseTimer span(telemetry_, obs::Phase::kMigrateEncode, tr.depart);
     // One level's departing state, from that level's engine: collapsed
     // weights + context always, plus the object's and its candidate
     // containers' retained readings under kFullReadings.

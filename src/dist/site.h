@@ -137,6 +137,10 @@ class Site {
   /// the scheduler's cheap test for whether the site needs a delivery pass.
   bool HasArrivalsDue(Epoch now) const;
 
+  /// Attaches the run's telemetry (migration encode spans; obs/telemetry.h).
+  /// Null detaches. Observation only -- results are identical either way.
+  void SetTelemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+
   /// Serializes and transmits the state of a departing transfer group to
   /// `tr.to` (inference state per the migration mode; query state when
   /// queries are attached). No-op for inference when mode is kNone.
@@ -191,6 +195,7 @@ class Site {
 
   SiteId id_;
   Network* network_;
+  obs::Telemetry* telemetry_ = nullptr;
   SiteOptions options_;
   StreamingInference streaming_;
   /// Second inference level (pallet containers, case objects); null unless

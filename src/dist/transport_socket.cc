@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "obs/telemetry.h"
 
 namespace rfid {
 
@@ -102,8 +103,14 @@ size_t SocketTransport::Send(Frame frame) {
     return wire;
   }
   const int fd = GetOrConnect(frame.from, frame.to);
-  encode_buf_.clear();
-  EncodeFrame(frame, &encode_buf_);
+  {
+    obs::PhaseTimer span(telemetry_, obs::Phase::kFrameEncode,
+                         frame.send_epoch);
+    encode_buf_.clear();
+    EncodeFrame(frame, &encode_buf_);
+  }
+  obs::PhaseTimer span(telemetry_, obs::Phase::kKernelWrite,
+                       frame.send_epoch);
   size_t written = 0;
   while (written < encode_buf_.size()) {
     const ssize_t n = write(fd, encode_buf_.data() + written,
@@ -126,6 +133,8 @@ size_t SocketTransport::Send(Frame frame) {
 }
 
 void SocketTransport::Pump(int site) {
+  // The transport has no replay clock; kernel-read slices carry epoch 0.
+  obs::PhaseTimer span(telemetry_, obs::Phase::kKernelRead, /*epoch=*/0);
   // Accept every connection waiting on this site's listener...
   while (true) {
     const int fd = accept4(listeners_[static_cast<size_t>(site)], nullptr,

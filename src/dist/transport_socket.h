@@ -44,6 +44,10 @@ class SocketTransport : public Transport {
 
   int num_sites() const { return static_cast<int>(listeners_.size()); }
 
+  /// Attaches the run's telemetry: frame encode / kernel write / kernel
+  /// read spans (obs/telemetry.h). Null detaches. Observation only.
+  void SetTelemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+
  private:
   struct Conn {
     int fd = -1;
@@ -71,6 +75,7 @@ class SocketTransport : public Transport {
   /// Destinations with no listener (kDirectorySite etc.).
   std::unordered_map<SiteId, std::vector<Frame>> local_;
   std::vector<uint8_t> encode_buf_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace rfid

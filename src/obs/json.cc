@@ -1,0 +1,406 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace rfid {
+namespace obs {
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  kind_ = Kind::kObject;
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(double d, std::string* out) {
+  if (!std::isfinite(d)) {
+    *out += "null";  // JSON has no NaN/inf; null = "not measured"
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Keep a numeric marker so the value re-parses as a double, not an int.
+  if (std::strpbrk(buf, ".eE") == nullptr) {
+    std::snprintf(buf, sizeof(buf), "%.1f", d);
+  }
+  *out += buf;
+}
+
+void Newline(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt:
+      *out += std::to_string(int_);
+      return;
+    case Kind::kDouble:
+      AppendDouble(double_, out);
+      return;
+    case Kind::kString:
+      AppendEscaped(string_, out);
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Newline(out, indent, depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Newline(out, indent, depth + 1);
+        AppendEscaped(members_[i].first, out);
+        *out += indent > 0 ? ": " : ":";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// ---- Parser ----
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipSpace();
+    JsonValue v;
+    RFID_RETURN_NOT_OK(ParseValue(&v, /*depth=*/0));
+    SkipSpace();
+    if (pos_ != s_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Fail(const std::string& what) const {
+    return Status::Corruption("JSON parse error at offset " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseLiteral(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) {
+      return Fail(std::string("expected '") + lit + "'");
+    }
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    RFID_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad hex digit in \\u escape");
+            }
+          }
+          // The emitter only writes \u00XX (control bytes); decode the
+          // BMP code point as UTF-8 so round-trips are exact.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t begin = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    bool integral = true;
+    if (Consume('.')) {
+      integral = false;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token = s_.substr(begin, pos_ - begin);
+    if (token.empty() || token == "-") return Fail("bad number");
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        *out = JsonValue(static_cast<int64_t>(v));
+        return Status::OK();
+      }
+      // Out-of-range integer literal: fall through to double.
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number");
+    *out = JsonValue(d);
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipSpace();
+    if (pos_ >= s_.size()) return Fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      *out = JsonValue::Object();
+      SkipSpace();
+      if (Consume('}')) return Status::OK();
+      while (true) {
+        SkipSpace();
+        std::string key;
+        RFID_RETURN_NOT_OK(ParseString(&key));
+        SkipSpace();
+        RFID_RETURN_NOT_OK(Expect(':'));
+        JsonValue v;
+        RFID_RETURN_NOT_OK(ParseValue(&v, depth + 1));
+        out->Set(key, std::move(v));
+        SkipSpace();
+        if (Consume('}')) return Status::OK();
+        RFID_RETURN_NOT_OK(Expect(','));
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      *out = JsonValue::Array();
+      SkipSpace();
+      if (Consume(']')) return Status::OK();
+      while (true) {
+        JsonValue v;
+        RFID_RETURN_NOT_OK(ParseValue(&v, depth + 1));
+        out->Append(std::move(v));
+        SkipSpace();
+        if (Consume(']')) return Status::OK();
+        RFID_RETURN_NOT_OK(Expect(','));
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      RFID_RETURN_NOT_OK(ParseString(&s));
+      *out = JsonValue(std::move(s));
+      return Status::OK();
+    }
+    if (c == 't') {
+      RFID_RETURN_NOT_OK(ParseLiteral("true"));
+      *out = JsonValue(true);
+      return Status::OK();
+    }
+    if (c == 'f') {
+      RFID_RETURN_NOT_OK(ParseLiteral("false"));
+      *out = JsonValue(false);
+      return Status::OK();
+    }
+    if (c == 'n') {
+      RFID_RETURN_NOT_OK(ParseLiteral("null"));
+      *out = JsonValue();
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+Status WriteJsonFile(const JsonValue& value, const std::string& path,
+                     int indent) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const std::string text = value.Dump(indent);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool nl = std::fputc('\n', f) != EOF;
+  if (std::fclose(f) != 0 || written != text.size() || !nl) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace rfid

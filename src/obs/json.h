@@ -1,0 +1,113 @@
+// Minimal JSON document model for the telemetry layer: RunReport files
+// (BENCH_*.json) and Chrome trace_event exports are built as JsonValue
+// trees and serialized with Dump; tests (and the CI validator) re-parse
+// the emitted files with Parse to prove well-formedness and schema
+// round-trips without an external dependency.
+//
+// Scope is deliberately small -- exactly the JSON the repo emits and
+// validates: null/bool/int64/double/string/array/object, UTF-8 passed
+// through verbatim, \uXXXX emitted for control characters only. Non-finite
+// doubles serialize as null (JSON has no NaN; the accuracy accessors'
+// NaN-when-unmeasured convention maps onto null fields).
+#ifndef RFID_OBS_JSON_H_
+#define RFID_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rfid {
+namespace obs {
+
+/// One JSON value. Objects preserve insertion order (reports should diff
+/// stably across runs), so members live in a vector, not a map.
+class JsonValue {
+ public:
+  enum class Kind : uint8_t {
+    kNull = 0,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(int64_t i) : kind_(Kind::kInt), int_(i) {}
+  JsonValue(int i) : kind_(Kind::kInt), int_(i) {}
+  JsonValue(double d) : kind_(Kind::kDouble), double_(d) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const { return int_; }
+  /// Numeric view: ints widen to double.
+  double AsDouble() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+
+  // ---- Array ----
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  // ---- Object ----
+  /// Sets (or replaces) a member, preserving first-insertion order.
+  void Set(const std::string& key, JsonValue v);
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Serializes the tree. `indent` > 0 pretty-prints (2-space style);
+  /// 0 emits the compact single-line form.
+  std::string Dump(int indent = 2) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Numbers with a '.', exponent, or out-of-int64 magnitude parse as
+/// doubles; everything else integral parses as kInt.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Writes `Dump(indent)` plus a trailing newline to `path`.
+Status WriteJsonFile(const JsonValue& value, const std::string& path,
+                     int indent = 2);
+
+}  // namespace obs
+}  // namespace rfid
+
+#endif  // RFID_OBS_JSON_H_

@@ -1,0 +1,85 @@
+#include "obs/telemetry.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace rfid {
+namespace obs {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kQueueDrain:
+      return "queue_drain";
+    case Phase::kDirectory:
+      return "directory";
+    case Phase::kFlushEncode:
+      return "flush_encode";
+    case Phase::kSnapshotScan:
+      return "snapshot_scan";
+    case Phase::kWindowCompute:
+      return "window_compute";
+    case Phase::kInference:
+      return "inference";
+    case Phase::kMigrateEncode:
+      return "migrate_encode";
+    case Phase::kTransportSend:
+      return "transport_send";
+    case Phase::kFrameEncode:
+      return "frame_encode";
+    case Phase::kKernelWrite:
+      return "kernel_write";
+    case Phase::kKernelRead:
+      return "kernel_read";
+  }
+  return "unknown";
+}
+
+int PhaseDefaultTrack(Phase phase) {
+  switch (phase) {
+    case Phase::kTransportSend:
+    case Phase::kFrameEncode:
+    case Phase::kKernelWrite:
+    case Phase::kKernelRead:
+      return kTransportTrack;
+    default:
+      return kDriverTrack;
+  }
+}
+
+std::string TracePathFromEnv() {
+  const char* env = std::getenv("RFID_TRACE");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+Telemetry::Telemetry(std::string trace_path)
+    : trace_path_(std::move(trace_path)) {
+  for (int p = 0; p < kNumPhases; ++p) {
+    phase_histograms_[p] = registry_.GetHistogram(
+        std::string("phase/") + PhaseName(static_cast<Phase>(p)));
+  }
+  if (!trace_path_.empty()) sink_ = std::make_unique<TraceSink>();
+}
+
+void Telemetry::AddWireBytes(int kind_index, const std::string& kind_name,
+                             int64_t bytes) {
+  const size_t i = static_cast<size_t>(kind_index);
+  if (i >= sizeof(kind_bytes_) / sizeof(kind_bytes_[0])) return;
+  // Lazily resolved once per kind, then lock-free; Send runs only in the
+  // replay's serial phases, so the lazy fill is single-threaded.
+  if (kind_bytes_[i] == nullptr) {
+    kind_bytes_[i] = registry_.GetCounter("net/bytes/kind=" + kind_name);
+    kind_messages_[i] =
+        registry_.GetCounter("net/messages/kind=" + kind_name);
+  }
+  kind_bytes_[i]->Add(bytes);
+  kind_messages_[i]->Add(1);
+}
+
+int64_t PhaseTimer::Now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace obs
+}  // namespace rfid

@@ -1,0 +1,88 @@
+#include "obs/trace_sink.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace rfid {
+namespace obs {
+
+void TraceSink::Add(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+namespace {
+
+/// Chrome metadata record naming a track ("thread_name").
+JsonValue TrackName(int tid, const std::string& name) {
+  JsonValue m = JsonValue::Object();
+  m.Set("name", "thread_name");
+  m.Set("ph", "M");
+  m.Set("pid", 1);
+  m.Set("tid", tid);
+  JsonValue args = JsonValue::Object();
+  args.Set("name", name);
+  m.Set("args", std::move(args));
+  return m;
+}
+
+}  // namespace
+
+std::string TraceSink::ToJson(int num_sites) const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+  }
+  JsonValue trace_events = JsonValue::Array();
+  trace_events.Append(TrackName(kDriverTrack, "driver (serial phases)"));
+  trace_events.Append(TrackName(kTransportTrack, "transport"));
+  for (int s = 0; s < num_sites; ++s) {
+    trace_events.Append(
+        TrackName(kFirstSiteTrack + s, "site " + std::to_string(s)));
+  }
+  for (const TraceEvent& e : events) {
+    JsonValue slice = JsonValue::Object();
+    slice.Set("name", e.name);
+    slice.Set("ph", "X");
+    slice.Set("pid", 1);
+    slice.Set("tid", e.track);
+    // Trace Event ts/dur are microseconds; fractional values keep the
+    // nanosecond resolution.
+    slice.Set("ts", static_cast<double>(e.start_ns) / 1e3);
+    slice.Set("dur", static_cast<double>(e.dur_ns) / 1e3);
+    JsonValue args = JsonValue::Object();
+    args.Set("epoch", static_cast<int64_t>(e.epoch));
+    slice.Set("args", std::move(args));
+    trace_events.Append(std::move(slice));
+  }
+  JsonValue root = JsonValue::Object();
+  root.Set("traceEvents", std::move(trace_events));
+  root.Set("displayTimeUnit", "ms");
+  // Compact form: trace files are large and tooling-consumed; humans read
+  // them through Perfetto, not an editor.
+  return root.Dump(/*indent=*/0);
+}
+
+Status TraceSink::WriteJson(const std::string& path, int num_sites) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+  const std::string text = ToJson(num_sites);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool nl = std::fputc('\n', f) != EOF;
+  if (std::fclose(f) != 0 || written != text.size() || !nl) {
+    return Status::IOError("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace rfid

@@ -1,0 +1,76 @@
+// Chrome trace_event sink: collects duration slices during a replay and
+// writes the JSON Trace Event Format that chrome://tracing and Perfetto
+// load directly, so "where did this run's time go" is a picture instead of
+// a guess. One track (tid) per site plus dedicated driver/transport
+// tracks; every slice carries the replay epoch it served as an argument,
+// so wall-clock slices line up with simulated time.
+//
+// Thread safety: Add appends under a mutex (slices are phase-granular --
+// thousands per run, not millions -- so contention is negligible against
+// the work being timed); WriteJson is called once, after the replay.
+#ifndef RFID_OBS_TRACE_SINK_H_
+#define RFID_OBS_TRACE_SINK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace rfid {
+namespace obs {
+
+/// Reserved track ids (Chrome tid values). Site s uses track
+/// kFirstSiteTrack + s.
+inline constexpr int kDriverTrack = 0;     ///< serial replay phases
+inline constexpr int kTransportTrack = 1;  ///< frame codec + kernel I/O
+inline constexpr int kFirstSiteTrack = 2;
+
+/// One completed duration slice ("ph":"X").
+struct TraceEvent {
+  const char* name = "";  ///< must outlive the sink (string literals)
+  int track = kDriverTrack;
+  int64_t start_ns = 0;  ///< relative to the sink's epoch
+  int64_t dur_ns = 0;
+  Epoch epoch = 0;  ///< replay epoch the slice served
+};
+
+class TraceSink {
+ public:
+  TraceSink() : origin_(std::chrono::steady_clock::now()) {}
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Nanoseconds since the sink was created (the trace time base).
+  int64_t NowNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  void Add(const TraceEvent& event);
+
+  size_t size() const;
+
+  /// Serializes every slice as Chrome trace JSON:
+  ///   {"traceEvents": [...], "displayTimeUnit": "ms"}
+  /// with one metadata record naming each track. `num_sites` labels the
+  /// per-site tracks ("site 0" ... "site N-1").
+  std::string ToJson(int num_sites) const;
+
+  /// ToJson written to `path`.
+  Status WriteJson(const std::string& path, int num_sites) const;
+
+ private:
+  const std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace obs
+}  // namespace rfid
+
+#endif  // RFID_OBS_TRACE_SINK_H_

@@ -358,9 +358,11 @@ TEST(MetricsTest, ErrorRatePercent) {
   EXPECT_EQ(err.total(), 4);
 }
 
-TEST(MetricsTest, ErrorRateEmptyIsZero) {
+TEST(MetricsTest, ErrorRateEmptyIsNaN) {
+  // Unmeasured, not perfect: TablePrinter::Fmt renders it as "n/a".
   ErrorRate err;
-  EXPECT_DOUBLE_EQ(err.Percent(), 0.0);
+  EXPECT_TRUE(std::isnan(err.Percent()));
+  EXPECT_EQ(TablePrinter::Fmt(err.Percent(), 1), "n/a");
 }
 
 TEST(MetricsTest, FMeasureCombinesPrecisionRecall) {
@@ -373,8 +375,19 @@ TEST(MetricsTest, FMeasureCombinesPrecisionRecall) {
   EXPECT_NEAR(fm.Percent(), 80.0, 1e-9);
 }
 
-TEST(MetricsTest, FMeasureEmptyIsZero) {
+TEST(MetricsTest, FMeasureEmptyIsNaN) {
   FMeasure fm;
+  EXPECT_TRUE(std::isnan(fm.Percent()));
+  EXPECT_TRUE(std::isnan(fm.Precision()));
+  EXPECT_TRUE(std::isnan(fm.Recall()));
+}
+
+TEST(MetricsTest, FMeasureMeasuredZeroStaysZero) {
+  // Counts exist but nothing was ever right: a real 0, never NaN (and the
+  // count form must not inherit NaN from the empty precision).
+  FMeasure fm;
+  fm.AddFalsePositive(3);
+  fm.AddFalseNegative(2);
   EXPECT_DOUBLE_EQ(fm.Percent(), 0.0);
 }
 
@@ -383,6 +396,18 @@ TEST(MetricsTest, OnlineStatsMeanVariance) {
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.Add(x);
   EXPECT_DOUBLE_EQ(st.Mean(), 5.0);
   EXPECT_NEAR(st.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(st.Stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MetricsTest, OnlineStatsMinMaxSummary) {
+  OnlineStats st;
+  EXPECT_TRUE(std::isnan(st.Min()));
+  EXPECT_TRUE(std::isnan(st.Max()));
+  EXPECT_EQ(st.Summary(), "n=0");
+  for (double x : {1.5, 1.0, 1.2}) st.Add(x);
+  EXPECT_DOUBLE_EQ(st.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.Max(), 1.5);
+  EXPECT_EQ(st.Summary(), "n=3 mean=1.233 min=1.000 max=1.500");
 }
 
 TEST(TablePrinterTest, AlignsColumns) {

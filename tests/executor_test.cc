@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -309,6 +310,56 @@ TEST(DeterminismTest, HierarchicalTransportThreadMatrixMatchesBitForBit) {
       ExpectBitIdentical(*reference, *sys, sim);
     }
   }
+}
+
+// Telemetry must observe, never perturb: the replay with collection
+// disabled, metrics-only, and metrics + Chrome trace must be bit-identical
+// across the full {transport} x {threads} matrix. Every value telemetry
+// records derives from wall clocks or events the replay already performs,
+// so this holds by construction -- this test keeps it that way.
+TEST(DeterminismTest, TelemetryOnOffMatchesBitForBit) {
+  SupplyChainConfig cfg = DeterminismConfig();
+  SupplyChainSim sim(cfg);
+  sim.Run();
+
+  const std::string trace_path =
+      ::testing::TempDir() + "/executor_test_trace.json";
+  std::unique_ptr<DistributedSystem> reference;
+  for (TransportKind transport :
+       {TransportKind::kInProcess, TransportKind::kSocket}) {
+    for (int threads : {0, 1, 4}) {
+      for (int telemetry : {0, 1, 2}) {  // off / metrics / metrics+trace
+        SCOPED_TRACE("transport=" + ToString(transport) +
+                     " threads=" + std::to_string(threads) +
+                     " telemetry=" + std::to_string(telemetry));
+        DistributedOptions opts = DeterminismOptions(threads, /*shards=*/4,
+                                                     /*hierarchical=*/true);
+        opts.transport = transport;
+        opts.collect_metrics = telemetry > 0;
+        if (telemetry == 2) opts.trace_path = trace_path;
+        auto sys = std::make_unique<DistributedSystem>(&sim, opts);
+        sys->Run();
+        if (telemetry == 2) {
+          ASSERT_NE(sys->telemetry(), nullptr);
+          EXPECT_TRUE(sys->telemetry()->tracing());
+          EXPECT_GT(sys->telemetry()->sink()->size(), 0u);
+          EXPECT_GT(
+              sys->telemetry()->phase_histogram(obs::Phase::kInference)
+                  .count(),
+              0);
+        } else if (telemetry == 0) {
+          EXPECT_EQ(sys->telemetry(), nullptr);
+        }
+        if (reference == nullptr) {
+          ASSERT_FALSE(sys->snapshots().empty());
+          reference = std::move(sys);
+          continue;
+        }
+        ExpectBitIdentical(*reference, *sys, sim);
+      }
+    }
+  }
+  std::remove(trace_path.c_str());
 }
 
 }  // namespace
