@@ -17,12 +17,18 @@
 // stays zero; its wire cost is exactly the directory's. A per-shard
 // load-balance table for the last read rate follows the main table.
 //
-// Every byte count is *framed* wire bytes (dist/frame.h: 38 B of header +
+// Every byte count is *framed* wire bytes (dist/frame.h: 46 B of header +
 // checksum per message), so small-message traffic -- directory records
 // especially -- pays its real per-message overhead. Totals are transport-
 // backend-invariant: the last read rate's CR run is repeated over the
 // loopback socket backend and must reproduce the in-process totals bit
 // for bit.
+//
+// A fifth system per read rate repeats the CR run on a lossy fabric
+// (drop 0.05 + reorder, fixed seed) with the ack/retransmit protocol on:
+// CR(faulty) is its total, CR(ack) the ack-stream share and CR(retx) the
+// retransmitted bytes -- the reliability tax Table 5 would pay on a real
+// network (bench_fault_sweep sweeps this dimension).
 #include <cstdio>
 #include <string>
 
@@ -44,7 +50,8 @@ int Main() {
                      "bytes shipped: Centralized vs None vs CR");
   TablePrinter table({"ReadRate", "Centralized", "None(dir)", "CR",
                       "CR(inference)", "CR(dir)", "CR(dir,nocache)",
-                      "DirHit%", "Ratio(Central/CR)"});
+                      "DirHit%", "Ratio(Central/CR)", "CR(faulty)",
+                      "CR(ack)", "CR(retx)"});
   TablePrinter shard_table({"Shard", "Host", "Updates", "Lookups",
                             "CacheHits", "Bytes", "Share%"});
   bool backend_invariant = false;
@@ -87,6 +94,18 @@ int Main() {
     DistributedSystem sys_cr_nc(&sim, cr_nocache);
     sys_cr_nc.Run();
 
+    // The same CR replay on a lossy fabric: seeded drop + reorder, the
+    // ack/retransmit protocol auto-enabled. Its extra bytes over the clean
+    // CR run are the reliability tax.
+    DistributedOptions cr_faulty = cr;
+    cr_faulty.trace = false;
+    cr_faulty.network.faults = FaultModel{};
+    cr_faulty.network.faults.drop = 0.05;
+    cr_faulty.network.faults.reorder = 0.02;
+    cr_faulty.network.faults.seed = 4242;
+    DistributedSystem sys_cr_faulty(&sim, cr_faulty);
+    sys_cr_faulty.Run();
+
     const int64_t central_bytes = sys_central.network().total_bytes();
     const int64_t cr_bytes = sys_cr.network().total_bytes();
     const int64_t dir_bytes =
@@ -112,7 +131,12 @@ int Main() {
              cr_bytes > 0 ? static_cast<double>(central_bytes) /
                                 static_cast<double>(cr_bytes)
                           : 0.0,
-             1)});
+             1),
+         std::to_string(sys_cr_faulty.network().total_bytes()),
+         std::to_string(
+             sys_cr_faulty.network().BytesOfKind(MessageKind::kAck)),
+         std::to_string(
+             sys_cr_faulty.network().reliable_stats().retransmit_bytes)});
 
     obs::JsonValue row = obs::JsonValue::Object();
     row.Set("read_rate", rr);
@@ -124,6 +148,13 @@ int Main() {
     row.Set("cr_directory_bytes", dir_bytes);
     row.Set("cr_directory_nocache_bytes", dir_nocache_bytes);
     row.Set("directory_cache_hit_percent", hit_pct);
+    row.Set("cr_faulty_bytes", sys_cr_faulty.network().total_bytes());
+    row.Set("cr_faulty_ack_bytes",
+            sys_cr_faulty.network().BytesOfKind(MessageKind::kAck));
+    row.Set("cr_faulty_retransmit_bytes",
+            sys_cr_faulty.network().reliable_stats().retransmit_bytes);
+    row.Set("cr_faulty_retransmits",
+            sys_cr_faulty.network().reliable_stats().retransmits);
     report.AddRow("read_rates", std::move(row));
 
     // The representative CR run's phase histograms and per-kind wire
@@ -190,7 +221,9 @@ int Main() {
       "the gap widens with residence time -- at the paper's 4-hour scale it\n"
       "reaches 3 orders of magnitude. CR(dir) <= CR(dir,nocache): repeat\n"
       "resolutions of unmoved objects are served from per-site resolver\n"
-      "caches and cost zero wire bytes. All counts are framed wire bytes.\n\n");
+      "caches and cost zero wire bytes. All counts are framed wire bytes.\n"
+      "CR(faulty) > CR: the gap is the reliability tax (ack stream CR(ack)\n"
+      "plus retransmitted frames CR(retx)) at drop 0.05 + reorder 0.02.\n\n");
   std::printf(
       "wire framing: %zu B/message overhead (%lld CR messages at RR 0.9 ->\n"
       "%lld framing bytes of %lld total); socket backend reproduces the CR\n"

@@ -77,7 +77,35 @@ echo "==> Socket transport: distributed suites over real loopback sockets"
 # Network defaulting to the socket backend.
 (cd build && RFID_TRANSPORT=socket \
   ctest --output-on-failure \
-  -R '^(dist_test|executor_test|frame_test|smoke_bench_hierarchical)$')
+  -R '^(dist_test|executor_test|frame_test|fault_test|smoke_bench_hierarchical)$')
+
+echo "==> Faults: lossy smoke replay (drop 0.05 + reorder + one crash)"
+# The fault-sweep bench on the real lossy fabric: the run must complete,
+# accuracy must stay finite (the crash row records error_is_finite), the
+# retransmit counters must be nonzero wherever frames were dropped, and
+# every sweep row must report exactly-once convergence.
+(cd build && RFID_BENCH_MAX_HORIZON=900 ./bench_fault_sweep >/dev/null)
+python3 - <<'EOF'
+import json, math
+report = json.load(open("build/BENCH_fault.json"))
+sweep = report["rows"]["sweep"]
+assert sweep, "fault sweep produced no rows"
+for row in sweep:
+    err = row["containment_error_percent"]
+    assert err is not None and not math.isnan(err), row
+    assert row["all_delivered"], row
+    if row["drop"] > 0:
+        assert row["fault_drops"] > 0, row
+        assert row["retransmits"] > 0, row
+        assert row["ack_bytes"] > 0, row
+crash = report["rows"]["crash"][0]
+assert crash["crashes"] >= 1
+assert crash["error_is_finite"]
+assert crash["recovery_request_bytes"] > 0
+assert crash["retransmits"] > 0
+print("fault sweep: %d rows + crash scenario (err=%.2f%%) -- OK"
+      % (len(sweep), crash["containment_error_percent"]))
+EOF
 
 if [[ "${SKIP_SANITIZE}" == "1" ]]; then
   echo "==> Skipping sanitizer pass (--skip-sanitize)"
@@ -94,7 +122,7 @@ cmake --build build-asan -j "${JOBS}"
 # what the test suite already drives.
 (cd build-asan && ctest --output-on-failure -j "${JOBS}" -LE bench_smoke)
 (cd build-asan && RFID_TRANSPORT=socket \
-  ctest --output-on-failure -R '^(dist_test|executor_test|frame_test)$')
+  ctest --output-on-failure -R '^(dist_test|executor_test|frame_test|fault_test)$')
 
 echo "==> Debug + TSan: distributed executor + determinism + ONS tests"
 # TSan and ASan cannot share a build; only the threaded distributed layer
@@ -105,8 +133,9 @@ cmake -B build-tsan -S . \
 # obs_test rides along: the metrics registry's lock-free hot path and
 # concurrent-registration contract are exactly what TSan is for.
 cmake --build build-tsan -j "${JOBS}" \
-  --target dist_test executor_test ons_test obs_test
+  --target dist_test executor_test fault_test ons_test obs_test
 (cd build-tsan && \
-  ctest --output-on-failure -R '^(dist_test|executor_test|ons_test|obs_test)$')
+  ctest --output-on-failure \
+  -R '^(dist_test|executor_test|fault_test|ons_test|obs_test)$')
 
 echo "==> CI green"

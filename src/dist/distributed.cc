@@ -7,6 +7,9 @@
 #include <numeric>
 
 #include "common/metrics.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/status.h"
 
 namespace rfid {
 
@@ -18,6 +21,44 @@ std::string ToString(ProcessingMode mode) {
       return "centralized";
   }
   return "unknown";
+}
+
+std::vector<CrashEvent> SeededCrashSchedule(uint64_t seed, int num_sites,
+                                            Epoch horizon, int count,
+                                            Epoch outage) {
+  std::vector<CrashEvent> out;
+  if (num_sites <= 0 || horizon <= 2 || count <= 0) return out;
+  Rng rng(seed);
+  // Crashes land in the middle half of the horizon: early enough that
+  // recovery traffic shows up in the run, late enough that there is
+  // pre-crash state worth losing.
+  const Epoch lo = std::max<Epoch>(1, horizon / 4);
+  const Epoch span = std::max<Epoch>(1, horizon / 2);
+  for (int i = 0; i < count; ++i) {
+    CrashEvent c;
+    c.site = static_cast<SiteId>(
+        rng.NextBounded(static_cast<uint64_t>(num_sites)));
+    c.at = lo + static_cast<Epoch>(
+        rng.NextBounded(static_cast<uint64_t>(span)));
+    c.recover_at =
+        std::min<Epoch>(horizon, c.at + std::max<Epoch>(1, outage));
+    if (c.recover_at > c.at) out.push_back(c);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CrashEvent& a, const CrashEvent& b) {
+                     return a.at < b.at;
+                   });
+  // Drop crashes that overlap (or abut) an earlier outage of the same
+  // site; the survivors always form a valid schedule.
+  std::vector<CrashEvent> valid;
+  for (const CrashEvent& c : out) {
+    bool overlap = false;
+    for (const CrashEvent& v : valid) {
+      if (v.site == c.site && c.at <= v.recover_at) overlap = true;
+    }
+    if (!overlap) valid.push_back(c);
+  }
+  return valid;
 }
 
 DistributedSystem::DistributedSystem(
@@ -58,35 +99,65 @@ DistributedSystem::DistributedSystem(
     ons_.Configure(ons_opts);
     ons_.AttachNetwork(&network_);
   }
+  // Crash schedules only make sense against the distributed deployment
+  // (the centralized server has no peer to recover from), and they switch
+  // every site into retain-exports mode so peers can answer a recovering
+  // site's kRecoveryRequest.
+  if (!options_.crashes.empty()) {
+    RFID_CHECK_OK(centralized()
+                      ? Status::InvalidArgument(
+                            "crash schedule requires distributed mode")
+                      : Status::OK());
+    Epoch prev_at = 0;
+    for (const CrashEvent& c : options_.crashes) {
+      const bool ok = c.site >= 0 && c.site < num_processors && c.at > 0 &&
+                      c.recover_at > c.at && c.at >= prev_at;
+      RFID_CHECK_OK(ok ? Status::OK()
+                       : Status::InvalidArgument("invalid crash schedule"));
+      prev_at = c.at;
+    }
+    for (size_t i = 0; i < options_.crashes.size(); ++i) {
+      for (size_t j = i + 1; j < options_.crashes.size(); ++j) {
+        const CrashEvent& a = options_.crashes[i];
+        const CrashEvent& b = options_.crashes[j];
+        RFID_CHECK_OK(a.site == b.site && b.at <= a.recover_at
+                          ? Status::InvalidArgument(
+                                "overlapping crash windows for one site")
+                          : Status::OK());
+      }
+    }
+    options_.site.retain_exports = true;
+  }
   sites_.reserve(static_cast<size_t>(num_processors));
   for (SiteId s = 0; s < num_processors; ++s) {
-    sites_.push_back(std::make_unique<Site>(
-        s, &sim_->model(), &sim_->schedule(), &network_, options_.site));
-    Site* site = sites_.back().get();
-    site->SetTelemetry(telemetry_.get());
-    network_.RegisterHandler(
-        s, [site](SiteId from, MessageKind kind,
-                  const std::vector<uint8_t>& payload) {
-          site->HandleMessage(from, kind, payload);
-        });
+    sites_.push_back(MakeSite(s));
   }
+  cursors_.assign(static_cast<size_t>(sim_->config().num_warehouses), 0);
+}
+
+std::unique_ptr<Site> DistributedSystem::MakeSite(SiteId s) {
+  auto site = std::make_unique<Site>(s, &sim_->model(), &sim_->schedule(),
+                                     &network_, options_.site);
+  Site* raw = site.get();
+  raw->SetTelemetry(telemetry_.get());
+  network_.RegisterHandler(
+      s, [raw](SiteId from, MessageKind kind,
+               const std::vector<uint8_t>& payload) {
+        raw->HandleMessage(from, kind, payload);
+      });
   if (options_.attach_queries && catalog_ != nullptr) {
-    for (auto& site : sites_) {
-      site->AttachQueries(catalog_, options_.q1, options_.q2);
-    }
+    raw->AttachQueries(catalog_, options_.q1, options_.q2);
     if (sensors_ != nullptr) {
       for (const SensorReading& r : *sensors_) {
         if (centralized()) {
-          sites_[0]->AddSensor(r);
-        } else {
-          const SiteId s = sim_->layout().SiteOfLocation(r.loc);
-          if (s >= 0 && s < static_cast<SiteId>(sites_.size())) {
-            sites_[static_cast<size_t>(s)]->AddSensor(r);
-          }
+          if (s == 0) raw->AddSensor(r);
+        } else if (sim_->layout().SiteOfLocation(r.loc) == s) {
+          raw->AddSensor(r);
         }
       }
     }
   }
+  return site;
 }
 
 DistributedSystem::~DistributedSystem() = default;
@@ -152,6 +223,10 @@ void DistributedSystem::Run() {
   for (Epoch b = period; b > 0 && b <= horizon; b += period) {
     events.push_back(b);
   }
+  for (const CrashEvent& c : options_.crashes) {
+    if (c.at <= horizon) events.push_back(c.at);
+    if (c.recover_at <= horizon) events.push_back(c.recover_at);
+  }
   events.push_back(horizon);
   std::sort(events.begin(), events.end());
   events.erase(std::unique(events.begin(), events.end()), events.end());
@@ -162,7 +237,7 @@ void DistributedSystem::Run() {
   SiteExecutor executor(
       std::min(SiteExecutor::ResolveThreads(options_.num_threads),
                static_cast<int>(sites_.size())));
-  std::vector<size_t> cursor(static_cast<size_t>(num_warehouses), 0);
+  std::vector<size_t>& cursor = cursors_;
   std::vector<std::vector<RawReading>> batch(
       static_cast<size_t>(num_warehouses));
   std::vector<size_t> ready;
@@ -172,6 +247,9 @@ void DistributedSystem::Run() {
   size_t inj = 0;
   size_t arr = 0;
   size_t dep = 0;
+  size_t crash_idx = 0;
+  std::vector<CrashEvent> outstanding;  // crashed, not yet recovered
+  std::vector<SiteId> recovered;        // recovered at this event
   for (Epoch t : events) {
     // -- Serial: advance the wall clocks (send epochs, TTL expiry), then
     // drain every processor's delivery queue of frames whose arrival
@@ -180,12 +258,38 @@ void DistributedSystem::Run() {
     // parallel phases below only ever see site-local pending queues.
     network_.AdvanceClock(t);
     ons_.AdvanceClock(t);
+
+    // -- Serial: scheduled failures. A recovering site is marked up
+    // before the drain (so the frames that queued up during its outage
+    // deliver into the replacement process this very event), but its
+    // state rebuild (RecoverSite) waits until after the drain. New
+    // crashes purge before the drain: frames addressed to the dead
+    // process are lost, not delivered.
+    recovered.clear();
+    for (auto it = outstanding.begin(); it != outstanding.end();) {
+      if (it->recover_at <= t) {
+        network_.SetSiteDown(it->site, false);
+        recovered.push_back(it->site);
+        it = outstanding.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    while (crash_idx < options_.crashes.size() &&
+           options_.crashes[crash_idx].at <= t) {
+      const CrashEvent& c = options_.crashes[crash_idx];
+      CrashSite(c.site, c.at);
+      outstanding.push_back(c);
+      ++crash_idx;
+    }
+    network_.TickReliability(t);
     {
       obs::PhaseTimer span(telemetry_.get(), obs::Phase::kQueueDrain, t);
       for (SiteId s = 0; s < static_cast<SiteId>(sites_.size()); ++s) {
         network_.DeliverDue(s, t);
       }
     }
+    for (SiteId s : recovered) RecoverSite(s, t);
 
     // -- Serial: ownership + directory bookkeeping due at t.
     {
@@ -224,6 +328,9 @@ void DistributedSystem::Run() {
     if (!centralized()) {
       ready.clear();
       for (size_t s = 0; s < sites_.size(); ++s) {
+        // A down site's process is gone: its readings stay in the durable
+        // trace (cursor frozen) until the recovery rebuild replays them.
+        if (network_.IsSiteDown(static_cast<SiteId>(s))) continue;
         const std::vector<RawReading>& rs = sim_->site_trace(
             static_cast<SiteId>(s)).readings();
         if (sites_[s]->HasArrivalsDue(t) ||
@@ -287,6 +394,10 @@ void DistributedSystem::Run() {
     bool any_ran = false;
     if (boundary) {
       executor.Run(sites_.size(), [&](size_t s) {
+        if (network_.IsSiteDown(static_cast<SiteId>(s))) {
+          ran[s] = 0;
+          return;
+        }
         obs::PhaseTimer span(telemetry_.get(), obs::Phase::kInference, t,
                              obs::kFirstSiteTrack + static_cast<int>(s));
         ran[s] = sites_[s]->AdvanceTo(t);
@@ -315,7 +426,11 @@ void DistributedSystem::Run() {
           // the site that holds it.
           ons_.Resolve(tr.pallet, tr.to != kNoSite ? tr.to : tr.from);
           const SiteId from = tr.from;
-          if (from >= 0 && from < static_cast<SiteId>(sites_.size())) {
+          // A transfer departing a crashed site exports nothing: the state
+          // died with the process, and the destination honestly starts
+          // cold for that group.
+          if (from >= 0 && from < static_cast<SiteId>(sites_.size()) &&
+              !network_.IsSiteDown(from)) {
             sites_[static_cast<size_t>(from)]->ExportTransfer(tr);
           }
         }
@@ -340,6 +455,30 @@ void DistributedSystem::Run() {
     }
   }
 
+  // -- Reliability flush: with faults on, the last window's frames (or
+  // their retransmissions) can still be unacked at the horizon. Keep the
+  // clock ticking in RTO steps until the protocol drains -- deliveries
+  // after the horizon only top up pending queues (no inference boundary
+  // runs anymore), so results are unaffected, but the byte accounting ends
+  // complete and AllReliableDelivered() can hold.
+  if (network_.reliable()) {
+    const Epoch step =
+        std::max<Epoch>(1, options_.network.reliability.rto);
+    Epoch t = horizon;
+    int idle = 0;
+    for (int guard = 0; idle < 3 && guard < 10000; ++guard) {
+      t += step;
+      network_.AdvanceClock(t);
+      network_.TickReliability(t);
+      int delivered = 0;
+      for (SiteId s = 0; s < static_cast<SiteId>(sites_.size()); ++s) {
+        delivered += network_.DeliverDue(s, t);
+      }
+      idle = delivered == 0 && !network_.HasReliabilityWork() ? idle + 1 : 0;
+    }
+    reliability_flush_epochs_ = t - horizon;
+  }
+
   if (telemetry_ != nullptr && telemetry_->tracing()) {
     const Status st = telemetry_->sink()->WriteJson(
         telemetry_->trace_path(), num_processors());
@@ -348,6 +487,111 @@ void DistributedSystem::Run() {
       std::fprintf(stderr, "rfid: trace not written: %s\n",
                    st.ToString().c_str());
     }
+  }
+}
+
+void DistributedSystem::CrashSite(SiteId s, Epoch at) {
+  // Freeze the dead site's current containment answers: queries during
+  // the outage degrade to this last-known view instead of failing.
+  for (const auto& [tag, site] : owner_) {
+    if (site != s) continue;
+    degraded_beliefs_[tag] =
+        sites_[static_cast<size_t>(s)]->BelievedContainer(tag);
+  }
+  crash_at_[s] = at;
+  network_.SetSiteDown(s, true);
+  if (telemetry_ != nullptr) {
+    telemetry_->registry().GetCounter("crash/crashes")->Add(1);
+  }
+  // Swap in a pristine replacement process. It receives nothing while the
+  // site is down; RecoverSite rebuilds its state at recover_at.
+  sites_[static_cast<size_t>(s)] = MakeSite(s);
+}
+
+void DistributedSystem::RecoverSite(SiteId s, Epoch t) {
+  obs::PhaseTimer span(telemetry_.get(), obs::Phase::kCrashRecovery, t);
+  auto cit = crash_at_.find(s);
+  const Epoch crashed_at = cit == crash_at_.end() ? t : cit->second;
+  if (cit != crash_at_.end()) crash_at_.erase(cit);
+
+  // Ask every live peer for the migration state it sent us strictly
+  // before the crash (what queued during the outage survived in the
+  // fabric and needs no resend). With zero link latency the round trip
+  // completes inside this event: the requests deliver, the peers re-send,
+  // and the envelopes land in the replacement's pending queues before the
+  // trace replay below installs them at their original arrival boundaries.
+  // Lossy links may defer parts of the round trip to later drains -- the
+  // site converges as the retransmissions land.
+  BufferWriter w;
+  w.PutVarint(static_cast<uint64_t>(crashed_at));
+  const std::vector<uint8_t> request = w.Release();
+  for (SiteId p = 0; p < static_cast<SiteId>(sites_.size()); ++p) {
+    if (p == s || network_.IsSiteDown(p)) continue;
+    network_.Send(s, p, MessageKind::kRecoveryRequest, request);
+  }
+  for (SiteId p = 0; p < static_cast<SiteId>(sites_.size()); ++p) {
+    if (p == s || network_.IsSiteDown(p)) continue;
+    network_.DeliverDue(p, t);
+  }
+  network_.DeliverDue(s, t);
+
+  // Replay the site's own durable inputs through every inference boundary
+  // before t, interleaving the local side effects of the exports the dead
+  // process already sent (DropTransferState) at their original positions.
+  // The engines re-run the same boundaries over the same (re-sorted)
+  // readings with the same imports installed at the same boundaries, so
+  // at fault rate 0 the rebuilt state is bit-identical to the pre-crash
+  // process's. The current event t itself is handled by the normal window
+  // and inference phases that follow this call.
+  const Epoch period = options_.site.streaming.inference_period;
+  std::vector<const ObjectTransfer*> departs;
+  for (const ObjectTransfer& tr : sim_->transfers()) {
+    if (tr.from == s && tr.depart < t) departs.push_back(&tr);
+  }
+  std::stable_sort(departs.begin(), departs.end(),
+                   [](const ObjectTransfer* a, const ObjectTransfer* b) {
+                     return a->depart < b->depart;
+                   });
+  Site* site = sites_[static_cast<size_t>(s)].get();
+  const std::vector<RawReading>& rs = sim_->site_trace(s).readings();
+  size_t cur = 0;
+  size_t di = 0;
+  auto observe_to = [&](Epoch b) {
+    const size_t begin = cur;
+    while (cur < rs.size() && rs[cur].time <= b) ++cur;
+    site->ObserveBatch(rs.data() + begin, cur - begin);
+  };
+  auto departs_to = [&](Epoch b, bool inclusive) {
+    while (di < departs.size() &&
+           (inclusive ? departs[di]->depart <= b : departs[di]->depart < b)) {
+      site->DropTransferState(*departs[di]);
+      ++di;
+    }
+  };
+  if (period > 0) {
+    for (Epoch b = period; b < t; b += period) {
+      // Departures strictly before a boundary precede its run; departures
+      // exactly at it follow the run (the live serial-phase ordering).
+      departs_to(b, /*inclusive=*/false);
+      site->DeliverArrivals(b);
+      observe_to(b);
+      site->AdvanceTo(b);
+      departs_to(b, /*inclusive=*/true);
+    }
+  }
+  departs_to(t - 1, /*inclusive=*/true);
+  site->DeliverArrivals(t - 1);
+  observe_to(t - 1);
+  cursors_[static_cast<size_t>(s)] = cur;
+
+  // The site answers live again: drop every degraded entry whose owner is
+  // back up (entries for tags owned by a still-down site stay).
+  for (auto it = degraded_beliefs_.begin(); it != degraded_beliefs_.end();) {
+    auto o = owner_.find(it->first);
+    const bool keep = o != owner_.end() && o->second >= 0 &&
+                      o->second < static_cast<SiteId>(sites_.size()) &&
+                      network_.IsSiteDown(o->second);
+    it = keep ? std::next(it) : degraded_beliefs_.erase(it);
   }
 }
 
@@ -362,20 +606,40 @@ Site* DistributedSystem::OwnerSite(TagId object) const {
 }
 
 TagId DistributedSystem::BelievedContainer(TagId object) const {
+  if (!centralized()) {
+    auto it = owner_.find(object);
+    if (it != owner_.end() && it->second >= 0 &&
+        it->second < static_cast<SiteId>(sites_.size()) &&
+        network_.IsSiteDown(it->second)) {
+      // The owner is mid-outage: answer from its last-known view.
+      auto d = degraded_beliefs_.find(object);
+      return d == degraded_beliefs_.end() ? kNoTag : d->second;
+    }
+  }
   Site* site = OwnerSite(object);
   return site == nullptr ? kNoTag : site->BelievedContainer(object);
 }
 
 TagId DistributedSystem::BelievedPallet(TagId object) const {
-  Site* site = OwnerSite(object);
-  if (site == nullptr) return kNoTag;
-  if (!object.is_item()) return site->BelievedPallet(object);
+  if (centralized()) return sites_[0]->BelievedPallet(object);
+  if (!options_.site.hierarchical) return kNoTag;
+  auto owned = [&](TagId tag) {
+    auto it = owner_.find(tag);
+    return it != owner_.end() && it->second >= 0 &&
+           it->second < static_cast<SiteId>(sites_.size());
+  };
+  if (!object.is_item()) {
+    if (!owned(object)) return kNoTag;
+    // A pallet is its own pallet; a case's pallet is its believed
+    // container (which already falls back to the degraded view when the
+    // case's owner is down).
+    return object.is_pallet() ? object : BelievedContainer(object);
+  }
   // Resolve the item's case at the item's owner, then the case's pallet at
   // the *case's* owner: mid-handoff the two can momentarily differ.
-  const TagId c = site->BelievedContainer(object);
-  if (!c.valid() || !c.is_case()) return kNoTag;
-  Site* case_site = OwnerSite(c);
-  return case_site == nullptr ? kNoTag : case_site->BelievedPallet(c);
+  const TagId c = BelievedContainer(object);
+  if (!c.valid() || !c.is_case() || !owned(c)) return kNoTag;
+  return BelievedContainer(c);
 }
 
 ErrorRate DistributedSystem::ScanContainment(const std::vector<TagId>& tags,

@@ -62,6 +62,25 @@ enum class ProcessingMode : uint8_t {
 
 std::string ToString(ProcessingMode mode);
 
+/// One scheduled site failure: the site's process dies at `at` (losing all
+/// in-memory inference/query state and every queued frame addressed to it)
+/// and a replacement process comes up at `recover_at`, rebuilding itself
+/// from the site's durable raw trace plus the migration state its peers
+/// retained and re-send on request (MessageKind::kRecoveryRequest).
+struct CrashEvent {
+  SiteId site = kNoSite;
+  Epoch at = 0;
+  Epoch recover_at = 0;
+};
+
+/// Deterministic crash schedule: `count` crashes at seeded sites/epochs in
+/// the middle half of the horizon, each lasting `outage` epochs (clamped to
+/// the horizon). Crashes that would overlap an earlier outage of the same
+/// site are dropped, so the result is always a valid schedule.
+std::vector<CrashEvent> SeededCrashSchedule(uint64_t seed, int num_sites,
+                                            Epoch horizon, int count,
+                                            Epoch outage);
+
 struct DistributedOptions {
   ProcessingMode mode = ProcessingMode::kDistributed;
   SiteOptions site;
@@ -109,6 +128,14 @@ struct DistributedOptions {
   /// many systems trace only one representative run).
   std::string trace_path;
   bool trace = true;
+  /// Scheduled site failures (distributed mode only; must be sorted by
+  /// `at`, with 0 < at < recover_at and non-overlapping outages per site).
+  /// Non-empty schedules enable SiteOptions::retain_exports so peers can
+  /// answer the recovering site's kRecoveryRequest. With an all-zero
+  /// FaultModel a crashed-and-recovered run ends bit-identical to the
+  /// uncrashed run, provided no transfer departs the crashed site during
+  /// its outage (that state died with the process and is honestly lost).
+  std::vector<CrashEvent> crashes;
 };
 
 /// Drives a finished simulation through the distributed (or centralized)
@@ -202,6 +229,11 @@ class DistributedSystem {
   /// Wall-clock seconds spent inside inference, summed over processors.
   double TotalInferenceSeconds() const;
 
+  /// Epochs the run kept ticking past the horizon to let the reliability
+  /// layer finish retransmitting (0 when reliable delivery is off or
+  /// everything drained at the horizon).
+  Epoch reliability_flush_epochs() const { return reliability_flush_epochs_; }
+
  private:
   bool centralized() const {
     return options_.mode == ProcessingMode::kCentralized;
@@ -218,6 +250,20 @@ class DistributedSystem {
   ErrorRate ScanContainment(const std::vector<TagId>& tags, Epoch t,
                             SiteExecutor* executor,
                             bool contained_only) const;
+  /// Builds a fully wired site processor for `s`: telemetry, the network
+  /// handler (re-registered, replacing any dead predecessor's), queries,
+  /// and the site's sensor slice. Used at construction and when a crashed
+  /// site is replaced by a fresh process.
+  std::unique_ptr<Site> MakeSite(SiteId s);
+  /// Kills site `s` at epoch `at`: snapshots its current containment
+  /// answers into degraded_beliefs_ (the last-known view queries fall back
+  /// to during the outage), purges every frame queued for it, and swaps in
+  /// a pristine replacement that stays isolated until recovery.
+  void CrashSite(SiteId s, Epoch at);
+  /// Brings site `s` back at epoch `t`: requests retained state from every
+  /// peer, then replays the site's own raw trace through every inference
+  /// boundary before `t` so its engines converge to the pre-crash state.
+  void RecoverSite(SiteId s, Epoch t);
 
   const SupplyChainSim* sim_;
   DistributedOptions options_;
@@ -236,6 +282,16 @@ class DistributedSystem {
   std::vector<ErrorSnapshot> snapshots_;
   /// Case→pallet samples (hierarchical runs only; see case_snapshots()).
   std::vector<ErrorSnapshot> case_snapshots_;
+  /// Per-site read cursor into the raw trace (member so a crashed site's
+  /// rebuild can rewind and re-consume its own readings).
+  std::vector<size_t> cursors_;
+  /// Last-known containment answer per tag owned by a currently-down site;
+  /// queries during the outage answer from this snapshot.
+  std::unordered_map<TagId, TagId> degraded_beliefs_;
+  /// Crash epoch of each currently-down site (the kRecoveryRequest
+  /// payload: peers re-send only state sent strictly before it).
+  std::unordered_map<SiteId, Epoch> crash_at_;
+  Epoch reliability_flush_epochs_ = 0;
   bool ran_ = false;
 };
 

@@ -49,6 +49,10 @@ std::string ToString(MessageKind kind) {
       return "query_state";
     case MessageKind::kDirectory:
       return "directory";
+    case MessageKind::kAck:
+      return "ack";
+    case MessageKind::kRecoveryRequest:
+      return "recovery_request";
   }
   return "unknown";
 }
@@ -63,6 +67,7 @@ void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
   PutU32(out, static_cast<uint32_t>(frame.to));
   PutU64(out, static_cast<uint64_t>(frame.send_epoch));
   PutU64(out, frame.seq);
+  PutU64(out, frame.link_seq);
   PutU32(out, static_cast<uint32_t>(frame.payload.size()));
   out->insert(out->end(), frame.payload.begin(), frame.payload.end());
   PutU32(out, Crc32Of(out->data() + start, out->size() - start));
@@ -86,10 +91,7 @@ Status DecodeFrame(const uint8_t* data, size_t size, Frame* out,
   if (data[4] != kFrameVersion) {
     return Status::Corruption("unsupported frame version");
   }
-  if (data[5] >= static_cast<uint8_t>(kNumMessageKinds)) {
-    return Status::Corruption("unknown message kind");
-  }
-  const uint32_t payload_len = ReadU32(data + 30);
+  const uint32_t payload_len = ReadU32(data + 38);
   if (payload_len > kMaxFramePayloadBytes) {
     return Status::Corruption("frame payload length implausible");
   }
@@ -97,17 +99,27 @@ Status DecodeFrame(const uint8_t* data, size_t size, Frame* out,
   if (size < wire) {
     return Status::ResourceExhausted("frame body incomplete");
   }
+  // CRC before the kind check: a checksum failure (including a flipped
+  // kind byte) is in-frame corruption with a trustworthy length, so the
+  // caller can skip the frame and resynchronize -- signalled by
+  // *consumed = wire size.
   const uint32_t stored_crc = ReadU32(data + kFrameHeaderBytes + payload_len);
   const uint32_t actual_crc =
       Crc32Of(data, kFrameHeaderBytes + payload_len);
   if (stored_crc != actual_crc) {
+    *consumed = wire;
     return Status::Corruption("frame checksum mismatch");
+  }
+  if (data[5] >= static_cast<uint8_t>(kNumMessageKinds)) {
+    *consumed = wire;
+    return Status::Corruption("unknown message kind");
   }
   out->kind = static_cast<MessageKind>(data[5]);
   out->from = static_cast<SiteId>(ReadU32(data + 6));
   out->to = static_cast<SiteId>(ReadU32(data + 10));
   out->send_epoch = static_cast<Epoch>(ReadU64(data + 14));
   out->seq = ReadU64(data + 22);
+  out->link_seq = ReadU64(data + 30);
   out->payload.assign(data + kFrameHeaderBytes,
                       data + kFrameHeaderBytes + payload_len);
   *consumed = wire;

@@ -17,9 +17,12 @@
 //                            the wire; arrival = send + link latency
 //   22      8     seq        global send sequence; total order across
 //                            senders, so queued delivery is deterministic
-//   30      4     payload_len (uint32)
-//   34      N     payload
-//   34+N    4     crc32      zlib CRC-32 over bytes [0, 34+N)
+//   30      8     link_seq   per-(from,to)-link sequence, 1-based, assigned
+//                            by the reliability layer; 0 = unreliable send
+//                            (no ack/retransmit tracking)
+//   38      4     payload_len (uint32)
+//   42      N     payload
+//   42+N    4     crc32      zlib CRC-32 over bytes [0, 42+N)
 //
 // Table 5's communication-cost accounting charges these framed bytes
 // (header + payload + checksum), i.e. real wire overhead, not bare
@@ -38,24 +41,28 @@ namespace rfid {
 
 /// Message classes the distributed experiments account separately: raw
 /// readings (the centralized baseline), collapsed/full inference state
-/// (Section 4.1), per-object query state (Section 4.2), and ONS directory
+/// (Section 4.1), per-object query state (Section 4.2), ONS directory
 /// traffic (registrations, moves, and lookups -- the "similar to a DNS
 /// service" load of Section 5.2, charged per (site, shard host) link since
-/// the directory is sharded across sites; see dist/ons.h).
+/// the directory is sharded across sites; see dist/ons.h), cumulative
+/// per-link acknowledgements (the reliability tax), and crash-recovery
+/// state re-requests.
 enum class MessageKind : uint8_t {
   kRawReadings = 0,
   kInferenceState = 1,
   kQueryState = 2,
   kDirectory = 3,
+  kAck = 4,
+  kRecoveryRequest = 5,
 };
 
-inline constexpr int kNumMessageKinds = 4;
+inline constexpr int kNumMessageKinds = 6;
 
 std::string ToString(MessageKind kind);
 
 inline constexpr uint32_t kFrameMagic = 0x44494652;  // "RFID" little-endian
-inline constexpr uint8_t kFrameVersion = 1;
-inline constexpr size_t kFrameHeaderBytes = 34;
+inline constexpr uint8_t kFrameVersion = 2;
+inline constexpr size_t kFrameHeaderBytes = 42;
 inline constexpr size_t kFrameTrailerBytes = 4;  // crc32
 inline constexpr size_t kFrameOverheadBytes =
     kFrameHeaderBytes + kFrameTrailerBytes;
@@ -65,13 +72,16 @@ inline constexpr uint32_t kMaxFramePayloadBytes = 1u << 30;
 
 /// One wire message. `seq` is assigned by the sending Network in global
 /// send order; receivers deliver queued frames in (arrival epoch, seq)
-/// order so every backend processes messages identically.
+/// order so every backend processes messages identically. `link_seq` is
+/// the per-link contiguous sequence the reliability layer acks/dedups by
+/// (0 when the send is untracked).
 struct Frame {
   SiteId from = kNoSite;
   SiteId to = kNoSite;
   MessageKind kind = MessageKind::kRawReadings;
   Epoch send_epoch = 0;
   uint64_t seq = 0;
+  uint64_t link_seq = 0;
   std::vector<uint8_t> payload;
 
   bool operator==(const Frame&) const = default;
@@ -94,8 +104,15 @@ std::vector<uint8_t> EncodeFrameToBytes(const Frame& frame);
 /// Returns OK with `*consumed` = the frame's wire size when a complete,
 /// checksum-valid frame was decoded; ResourceExhausted (and *consumed = 0)
 /// when the buffer holds only a prefix of a frame (read more bytes and
-/// retry -- the streaming-socket case); Corruption for bad magic, version,
-/// oversized length, or checksum mismatch.
+/// retry -- the streaming-socket case); Corruption otherwise. Two
+/// Corruption classes differ by `*consumed`:
+///   - *consumed = 0: the header itself is untrustworthy (bad magic,
+///     unsupported version, implausible payload length) -- the stream has
+///     lost framing and cannot be resynchronized.
+///   - *consumed = wire size: the header parsed but the CRC-32 failed (or
+///     the checksummed kind byte is unknown) -- in-frame corruption; the
+///     caller may skip `*consumed` bytes, count the drop, and continue
+///     decoding at the next frame boundary.
 Status DecodeFrame(const uint8_t* data, size_t size, Frame* out,
                    size_t* consumed);
 

@@ -1,10 +1,13 @@
 #include "dist/network.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
 
+#include "common/rng.h"
+#include "common/serde.h"
 #include "common/status.h"
 #include "dist/transport_socket.h"
 #include "obs/telemetry.h"
@@ -28,6 +31,103 @@ TransportKind TransportKindFromEnv() {
   }
   return TransportKind::kInProcess;
 }
+
+// ---- FaultModel ----
+
+FrameFate FaultModel::FateOf(uint64_t seq, uint32_t attempt) const {
+  // A private SplitMix64 stream per (seed, seq, attempt): the fate of a
+  // transmission attempt depends on nothing else -- not the backend, not
+  // the thread count, not how many other frames were sent -- which is what
+  // makes faulty runs bit-identical. A fixed draw schedule keeps the
+  // stream layout stable regardless of which fates trigger.
+  uint64_t state = seed;
+  state += (seq + 1) * 0x9e3779b97f4a7c15ull;
+  state += (static_cast<uint64_t>(attempt) + 1) * 0xbf58476d1ce4e5b9ull;
+  auto unit = [&state]() {
+    return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+  };
+  const double u_drop = unit();
+  const double u_corrupt = unit();
+  const double u_dup = unit();
+  const double u_reorder = unit();
+  const uint64_t r_offset = SplitMix64(state);
+  const uint64_t r_mask = SplitMix64(state);
+  const uint64_t r_delay = SplitMix64(state);
+  const uint64_t r_dup_delay = SplitMix64(state);
+
+  FrameFate fate;
+  if (u_drop < drop) {
+    fate.drop = true;
+    return fate;
+  }
+  if (u_corrupt < corrupt) {
+    fate.corrupt = true;
+    fate.corrupt_offset = static_cast<size_t>(r_offset);
+    fate.corrupt_mask = static_cast<uint8_t>(r_mask) | 1;  // nonzero
+    return fate;
+  }
+  const Epoch span = reorder_delay_max >= reorder_delay_min
+                         ? reorder_delay_max - reorder_delay_min + 1
+                         : 1;
+  if (u_reorder < reorder) {
+    fate.extra_delay =
+        reorder_delay_min + static_cast<Epoch>(r_delay % span);
+  }
+  if (u_dup < duplicate) {
+    fate.duplicate = true;
+    fate.duplicate_delay =
+        reorder_delay_min + static_cast<Epoch>(r_dup_delay % span);
+  }
+  return fate;
+}
+
+bool FaultModel::Partitioned(SiteId from, SiteId to, Epoch at) const {
+  for (const LinkPartition& p : partitions) {
+    if (at < p.begin || at >= p.end) continue;
+    const bool fwd = (p.a == kNoSite || p.a == from) &&
+                     (p.b == kNoSite || p.b == to);
+    const bool rev = p.bidirectional && (p.a == kNoSite || p.a == to) &&
+                     (p.b == kNoSite || p.b == from);
+    if (fwd || rev) return true;
+  }
+  return false;
+}
+
+FaultModel FaultModelFromEnv() {
+  FaultModel m;
+  const char* env = std::getenv("RFID_FAULTS");
+  if (env == nullptr || *env == '\0') return m;
+  const std::string s(env);
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string kv = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    const size_t eq = kv.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    if (key == "drop") {
+      m.drop = std::atof(val.c_str());
+    } else if (key == "dup" || key == "duplicate") {
+      m.duplicate = std::atof(val.c_str());
+    } else if (key == "reorder") {
+      m.reorder = std::atof(val.c_str());
+    } else if (key == "corrupt") {
+      m.corrupt = std::atof(val.c_str());
+    } else if (key == "seed") {
+      m.seed = std::strtoull(val.c_str(), nullptr, 10);
+    } else if (key == "delay_min") {
+      m.reorder_delay_min = static_cast<Epoch>(std::atoll(val.c_str()));
+    } else if (key == "delay_max") {
+      m.reorder_delay_max = static_cast<Epoch>(std::atoll(val.c_str()));
+    }
+  }
+  return m;
+}
+
+NetworkOptions::NetworkOptions() : faults(FaultModelFromEnv()) {}
 
 // ---- InProcessTransport ----
 
@@ -83,6 +183,10 @@ void Network::Configure(NetworkOptions options) {
                     : Status::Internal("Configure with frames in flight "
                                        "would reschedule them"));
   options_ = std::move(options);
+  reliable_ =
+      options_.reliability.mode == ReliabilityOptions::Mode::kOn ||
+      (options_.reliability.mode == ReliabilityOptions::Mode::kAuto &&
+       options_.faults.enabled());
 }
 
 void Network::RegisterHandler(SiteId site, MessageHandler handler) {
@@ -99,6 +203,123 @@ Epoch Network::LatencyOf(SiteId from, SiteId to, size_t wire_bytes) const {
   return latency < 0 ? 0 : latency;
 }
 
+void Network::BumpTelemetry(const char* name, int64_t n) {
+  if (telemetry_ != nullptr) {
+    telemetry_->registry().GetCounter(name)->Add(n);
+  }
+}
+
+void Network::ChargeCounters(const Frame& frame, size_t wire) {
+  const int64_t n = static_cast<int64_t>(wire);
+  link_bytes_[LinkKey(frame.from, frame.to)] += n;
+  link_messages_[LinkKey(frame.from, frame.to)] += 1;
+  kind_bytes_[static_cast<size_t>(frame.kind)] += n;
+  kind_messages_[static_cast<size_t>(frame.kind)] += 1;
+  total_bytes_ += n;
+  total_messages_ += 1;
+  if (telemetry_ != nullptr) {
+    telemetry_->AddWireBytes(static_cast<int>(frame.kind),
+                             ToString(frame.kind), n);
+  }
+}
+
+void Network::Transmit(const Frame& frame, uint32_t attempt) {
+  const size_t wire = FrameWireSize(frame.payload.size());
+  // Every transmission attempt is charged: bytes hit the wire whether or
+  // not a fault eats them afterwards. Only copies that actually land in a
+  // delivery queue count as in flight.
+  ChargeCounters(frame, wire);
+  if (options_.faults.Partitioned(frame.from, frame.to, now_)) {
+    ++fault_stats_.partition_drops;
+    BumpTelemetry("fault/partition_drops", 1);
+    return;
+  }
+  const FrameFate fate = options_.faults.enabled()
+                             ? options_.faults.FateOf(frame.seq, attempt)
+                             : FrameFate{};
+  if (fate.drop) {
+    ++fault_stats_.drops;
+    BumpTelemetry("fault/drops", 1);
+    return;
+  }
+  if (fate.corrupt) {
+    ++fault_stats_.corrupts;
+    BumpTelemetry("fault/corrupts", 1);
+    // Flip one byte past the header (payload or CRC region) so the frame
+    // stays parseable but fails its checksum: the socket receiver drops
+    // and counts it; the in-process default discards outright.
+    const size_t region = frame.payload.size() + kFrameTrailerBytes;
+    const size_t offset =
+        kFrameHeaderBytes + (fate.corrupt_offset % region);
+    const size_t got =
+        transport_->SendCorrupt(frame, offset, fate.corrupt_mask);
+    RFID_CHECK_OK(got == wire ? Status::OK()
+                              : Status::Internal("corrupt wire size "
+                                                 "disagrees with codec"));
+    return;
+  }
+  Frame copy = frame;
+  if (fate.extra_delay > 0) {
+    ++fault_stats_.reorders;
+    BumpTelemetry("fault/reorders", 1);
+    copy.send_epoch += fate.extra_delay;
+  }
+  const size_t got = transport_->Send(std::move(copy));
+  RFID_CHECK_OK(got == wire
+                    ? Status::OK()
+                    : Status::Internal("transport wire size disagrees with "
+                                       "the frame codec"));
+  in_flight_bytes_ += static_cast<int64_t>(wire);
+  in_flight_messages_ += 1;
+  if (fate.duplicate) {
+    ++fault_stats_.duplicates;
+    BumpTelemetry("fault/duplicates", 1);
+    ChargeCounters(frame, wire);
+    Frame dup = frame;
+    dup.send_epoch += fate.duplicate_delay;
+    transport_->Send(std::move(dup));
+    in_flight_bytes_ += static_cast<int64_t>(wire);
+    in_flight_messages_ += 1;
+  }
+}
+
+void Network::TrackAndTransmit(LinkSendState* link, Frame frame) {
+  frame.link_seq = link->next_link_seq++;
+  Transmit(frame, 0);
+  const uint64_t ls = frame.link_seq;
+  TrackedFrame tf;
+  tf.next_retry = now_ + options_.reliability.rto;
+  tf.attempts = 1;
+  tf.frame = std::move(frame);
+  link->unacked.emplace(ls, std::move(tf));
+}
+
+void Network::ReleaseDeferred(LinkSendState* link) {
+  while (!link->deferred.empty() &&
+         static_cast<int>(link->unacked.size()) <
+             options_.reliability.window) {
+    Frame f = std::move(link->deferred.front());
+    link->deferred.pop_front();
+    f.send_epoch = now_;
+    TrackAndTransmit(link, std::move(f));
+  }
+}
+
+void Network::HandleAck(const Frame& ack) {
+  // The ack travels receiver -> sender, so the link it acknowledges is
+  // (ack.to -> ack.from).
+  BufferReader r(ack.payload);
+  uint64_t cum = 0;
+  if (!r.GetVarint(&cum).ok()) return;
+  auto it = send_links_.find(LinkKey(ack.to, ack.from));
+  if (it == send_links_.end()) return;
+  LinkSendState& link = it->second;
+  while (!link.unacked.empty() && link.unacked.begin()->first <= cum) {
+    link.unacked.erase(link.unacked.begin());
+  }
+  ReleaseDeferred(&link);
+}
+
 size_t Network::Send(SiteId from, SiteId to, MessageKind kind,
                      const std::vector<uint8_t>& payload) {
   obs::PhaseTimer span(telemetry_, obs::Phase::kTransportSend, now_);
@@ -109,27 +330,28 @@ size_t Network::Send(SiteId from, SiteId to, MessageKind kind,
   frame.send_epoch = now_;
   frame.seq = next_seq_++;
   frame.payload = payload;
-  const size_t wire = transport_->Send(std::move(frame));
-  RFID_CHECK_OK(wire == FrameWireSize(payload.size())
-                    ? Status::OK()
-                    : Status::Internal("transport wire size disagrees with "
-                                       "the frame codec"));
-  const int64_t n = static_cast<int64_t>(wire);
-  link_bytes_[LinkKey(from, to)] += n;
-  link_messages_[LinkKey(from, to)] += 1;
-  kind_bytes_[static_cast<size_t>(kind)] += n;
-  kind_messages_[static_cast<size_t>(kind)] += 1;
-  total_bytes_ += n;
-  total_messages_ += 1;
-  in_flight_bytes_ += n;
-  in_flight_messages_ += 1;
-  if (telemetry_ != nullptr) {
-    telemetry_->AddWireBytes(static_cast<int>(kind), ToString(kind), n);
+  const size_t wire = FrameWireSize(payload.size());
+  if (reliable_ && kind != MessageKind::kAck) {
+    LinkSendState& link = send_links_[LinkKey(from, to)];
+    if (static_cast<int>(link.unacked.size()) >=
+        options_.reliability.window) {
+      // Window full: the frame waits in the sender, uncharged until it is
+      // actually transmitted (acks or retransmission ticks release it).
+      link.deferred.push_back(std::move(frame));
+    } else {
+      TrackAndTransmit(&link, std::move(frame));
+    }
+  } else {
+    Transmit(frame, 0);
   }
   return wire;
 }
 
 int Network::DeliverDue(SiteId site, Epoch now) {
+  // A crashed site receives nothing; its traffic backlog is purged by
+  // SetSiteDown and anything sent during the outage waits in the
+  // transport/pending queue for recovery.
+  if (down_.count(site) > 0) return 0;
   // Pull everything the transport has for this site, stamp arrival epochs,
   // and merge into the site's pending queue. The transport may hand frames
   // back in any order; (arrive, seq) restores the deterministic total
@@ -154,18 +376,154 @@ int Network::DeliverDue(SiteId site, Epoch now) {
       handler_it != handlers_.end() && handler_it->second
           ? &handler_it->second
           : nullptr;
+  // Peers owed a cumulative ack, in first-delivery order (deduplicated by
+  // the per-link ack_pending flag); one kAck per peer goes out after the
+  // sweep with the final cumulative value.
+  std::vector<SiteId> ack_peers;
   while (!q.empty() && q.top().arrive <= now) {
     const QueuedFrame& top = q.top();
+    const Frame& f = top.frame;
     in_flight_messages_ -= 1;
     in_flight_bytes_ -=
-        static_cast<int64_t>(FrameWireSize(top.frame.payload.size()));
-    if (handler != nullptr) {
-      (*handler)(top.frame.from, top.frame.kind, top.frame.payload);
+        static_cast<int64_t>(FrameWireSize(f.payload.size()));
+    bool deliver = true;
+    if (f.kind == MessageKind::kAck) {
+      HandleAck(f);
+      deliver = false;
+    } else if (reliable_ && f.link_seq > 0) {
+      LinkRecvState& rs = recv_links_[LinkKey(f.from, site)];
+      if (f.link_seq <= rs.cum || rs.out_of_order.count(f.link_seq) > 0) {
+        // Retransmitted or fault-duplicated copy of something already
+        // delivered: suppress, but still re-ack (the sender clearly
+        // missed our last ack).
+        ++reliable_stats_.dup_drops;
+        BumpTelemetry("reliable/dup_drops", 1);
+        deliver = false;
+      } else {
+        rs.out_of_order.insert(f.link_seq);
+        while (rs.out_of_order.count(rs.cum + 1) > 0) {
+          rs.out_of_order.erase(rs.cum + 1);
+          ++rs.cum;
+        }
+      }
+      if (!rs.ack_pending) {
+        rs.ack_pending = true;
+        ack_peers.push_back(f.from);
+      }
+    }
+    if (deliver && handler != nullptr) {
+      (*handler)(f.from, f.kind, f.payload);
     }
     q.pop();
     ++delivered;
   }
+  for (SiteId peer : ack_peers) {
+    LinkRecvState& rs = recv_links_[LinkKey(peer, site)];
+    rs.ack_pending = false;
+    BufferWriter w;
+    w.PutVarint(rs.cum);
+    Send(site, peer, MessageKind::kAck, w.bytes());
+  }
   return delivered;
+}
+
+void Network::TickReliability(Epoch now) {
+  if (!reliable_) return;
+  // send_links_ is an ordered map, so the retransmission sweep visits
+  // links in a deterministic order on every backend.
+  for (auto& [key, link] : send_links_) {
+    if (down_.count(LinkTo(key)) > 0) continue;
+    for (auto& [ls, tf] : link.unacked) {
+      if (tf.next_retry > now) continue;
+      Frame copy = tf.frame;
+      copy.send_epoch = now;
+      const int64_t wire =
+          static_cast<int64_t>(FrameWireSize(copy.payload.size()));
+      ++reliable_stats_.retransmits;
+      reliable_stats_.retransmit_bytes += wire;
+      BumpTelemetry("reliable/retransmits", 1);
+      BumpTelemetry("reliable/retransmit_bytes", wire);
+      Transmit(copy, tf.attempts);
+      ++tf.attempts;
+      const int shift =
+          std::min(static_cast<int>(tf.attempts) - 1,
+                   options_.reliability.max_backoff_shift);
+      tf.next_retry = now + (options_.reliability.rto << shift);
+    }
+    ReleaseDeferred(&link);
+  }
+}
+
+int64_t Network::SetSiteDown(SiteId site, bool down) {
+  if (!down) {
+    down_.erase(site);
+    return 0;
+  }
+  down_.insert(site);
+  int64_t lost = 0;
+  // Purge every copy already queued for the site: in the transport and in
+  // the stamped pending queue. Those copies were in flight.
+  std::vector<Frame> purged;
+  transport_->Drain(site, &purged);
+  for (const Frame& f : purged) {
+    in_flight_messages_ -= 1;
+    in_flight_bytes_ -=
+        static_cast<int64_t>(FrameWireSize(f.payload.size()));
+    ++lost;
+  }
+  auto pit = pending_.find(site);
+  if (pit != pending_.end()) {
+    while (!pit->second.empty()) {
+      in_flight_messages_ -= 1;
+      in_flight_bytes_ -= static_cast<int64_t>(
+          FrameWireSize(pit->second.top().frame.payload.size()));
+      pit->second.pop();
+      ++lost;
+    }
+  }
+  // Both directions of every link INTO the crashed site reset to a fresh
+  // link epoch: senders' unacked/deferred state toward it is discarded
+  // (the retained-envelope recovery path replaces retransmission -- see
+  // Site::HandleMessage kRecoveryRequest), and the site's own dedup state
+  // dies with it. Outbound (site -> peer) tracking survives: the fabric,
+  // not the crashed process, owns the reliability layer, and peers still
+  // hold dedup state for that direction.
+  for (auto sit = send_links_.begin(); sit != send_links_.end();) {
+    if (LinkTo(sit->first) == site) {
+      lost += static_cast<int64_t>(sit->second.deferred.size());
+      sit = send_links_.erase(sit);
+    } else {
+      ++sit;
+    }
+  }
+  for (auto rit = recv_links_.begin(); rit != recv_links_.end();) {
+    if (LinkTo(rit->first) == site) {
+      rit = recv_links_.erase(rit);
+    } else {
+      ++rit;
+    }
+  }
+  reliable_stats_.crash_frames_lost += lost;
+  BumpTelemetry("reliable/crash_frames_lost", lost);
+  return lost;
+}
+
+bool Network::HasReliabilityWork() const {
+  for (const auto& [key, link] : send_links_) {
+    if (down_.count(LinkTo(key)) > 0) continue;
+    if (!link.unacked.empty() || !link.deferred.empty()) return true;
+  }
+  return false;
+}
+
+bool Network::AllReliableDelivered() const {
+  for (const auto& [key, link] : send_links_) {
+    if (!link.unacked.empty() || !link.deferred.empty()) return false;
+    auto rit = recv_links_.find(key);
+    const uint64_t cum = rit == recv_links_.end() ? 0 : rit->second.cum;
+    if (cum != link.next_link_seq - 1) return false;
+  }
+  return true;
 }
 
 int64_t Network::BytesOnLink(SiteId from, SiteId to) const {
@@ -185,6 +543,8 @@ void Network::ResetCounters() {
   for (int64_t& m : kind_messages_) m = 0;
   total_bytes_ = 0;
   total_messages_ = 0;
+  fault_stats_ = FaultStats{};
+  reliable_stats_ = ReliableStats{};
   // in_flight_{bytes,messages}_ are live queue gauges, not history: a
   // frame still in the transport stays in flight across a counter reset.
 }

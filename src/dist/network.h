@@ -21,15 +21,30 @@
 // global send sequence) order, so alerts, accuracy, and byte totals are
 // bit-identical across backends -- enforced by executor_test's
 // DeterminismTest and frame_test's cross-backend accounting check.
+//
+// On top of the fabric sits an optional reliability layer (tests/
+// fault_test.cc, docs/ARCHITECTURE.md "Reliability"): a seeded
+// deterministic FaultModel injects per-link drop/duplicate/reorder/corrupt
+// faults and epoch-windowed partitions, and a cumulative-ack ARQ protocol
+// (per-link sequence numbers in Frame::link_seq, MessageKind::kAck
+// carrying the receiver's cumulative ack, retransmit on epoch timeout with
+// exponential backoff, bounded in-flight window, duplicate suppression)
+// recovers exactly-once delivery. Fault fates are a pure function of
+// (fault seed, global seq, attempt), so the same seed + fault config
+// yields bit-identical runs on every backend at every thread count.
 #ifndef RFID_DIST_NETWORK_H_
 #define RFID_DIST_NETWORK_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <queue>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
@@ -83,6 +98,19 @@ class Transport {
   /// frame's wire size (must equal FrameWireSize(frame.payload.size())).
   virtual size_t Send(Frame frame) = 0;
 
+  /// Transmits `frame` with one payload-region byte XORed by `mask`
+  /// (the FaultModel's corruption fate). The wire carries the bytes, but
+  /// the frame must never be delivered intact: the socket backend really
+  /// writes the damaged encoding (the receiver's CRC check drops it and
+  /// counts a crc_drop); the default in-process behavior charges nothing
+  /// here and simply discards, which is observationally identical at the
+  /// Network level. Returns the wire size, like Send.
+  virtual size_t SendCorrupt(Frame frame, size_t offset, uint8_t mask) {
+    (void)offset;
+    (void)mask;
+    return FrameWireSize(frame.payload.size());
+  }
+
   /// Appends every frame currently deliverable to `site` onto `*out`
   /// (in unspecified order) and removes them from the transport.
   virtual void Drain(SiteId site, std::vector<Frame>* out) = 0;
@@ -103,6 +131,88 @@ class InProcessTransport : public Transport {
   std::unordered_map<SiteId, std::vector<Frame>> queues_;
 };
 
+/// What the FaultModel decided for one transmission attempt: pure function
+/// of (seed, global seq, attempt), so identical across backends, thread
+/// counts, and runs.
+struct FrameFate {
+  bool drop = false;
+  bool corrupt = false;
+  bool duplicate = false;
+  /// Extra epochs added to the copy's send epoch (reorder fate): the frame
+  /// lingers in the fabric and arrives late, possibly after later sends.
+  Epoch extra_delay = 0;
+  /// Corruption parameters: payload-region byte offset and a nonzero XOR
+  /// mask (XOR by nonzero always breaks the CRC -- linearity).
+  size_t corrupt_offset = 0;
+  uint8_t corrupt_mask = 1;
+  /// The duplicate copy's own reorder delay.
+  Epoch duplicate_delay = 0;
+};
+
+/// One scheduled link outage: frames over (a, b) -- and (b, a) when
+/// bidirectional -- sent during [begin, end) are dropped (and counted as
+/// partition_drops). kNoSite as an endpoint is a wildcard.
+struct LinkPartition {
+  SiteId a = kNoSite;
+  SiteId b = kNoSite;
+  Epoch begin = 0;
+  Epoch end = 0;
+  bool bidirectional = true;
+};
+
+/// Seeded deterministic fault injection, applied uniformly by every
+/// backend at the Network layer (so in-process and socket runs inject the
+/// identical fault sequence). All probabilities are per transmission
+/// attempt -- a retransmit redraws its fate.
+struct FaultModel {
+  double drop = 0.0;       ///< P(frame silently lost)
+  double duplicate = 0.0;  ///< P(frame transmitted twice)
+  double reorder = 0.0;    ///< P(frame delayed by extra epochs)
+  double corrupt = 0.0;    ///< P(one payload byte flipped on the wire)
+  /// Reorder delay is uniform in [reorder_delay_min, reorder_delay_max].
+  Epoch reorder_delay_min = 1;
+  Epoch reorder_delay_max = 8;
+  uint64_t seed = 0x52464944;  // "RFID"
+  std::vector<LinkPartition> partitions;
+
+  bool enabled() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0 ||
+           !partitions.empty();
+  }
+
+  /// The fate of transmission attempt `attempt` (0 = first send) of the
+  /// frame with global sequence `seq`.
+  FrameFate FateOf(uint64_t seq, uint32_t attempt) const;
+
+  /// True when link (from, to) is inside a partition window at `at`.
+  bool Partitioned(SiteId from, SiteId to, Epoch at) const;
+};
+
+/// Fault config selected by the RFID_FAULTS environment variable, e.g.
+/// RFID_FAULTS="drop=0.05,dup=0.01,reorder=0.02,corrupt=0.001,seed=7".
+/// Unset or empty -> no faults. Unknown keys are ignored.
+FaultModel FaultModelFromEnv();
+
+/// Reliable-delivery (ARQ) configuration. kAuto enables the protocol
+/// exactly when the fault model can lose or duplicate frames; kOff keeps
+/// the pre-reliability fabric byte-for-byte (link_seq stays 0, no acks);
+/// kOn forces it even on a perfect network (acks still flow -- the
+/// reliability tax at fault rate 0).
+struct ReliabilityOptions {
+  enum class Mode : uint8_t { kAuto = 0, kOff = 1, kOn = 2 };
+  Mode mode = Mode::kAuto;
+  /// Max unacked frames per directed link; further sends queue in the
+  /// sender until the window opens.
+  int window = 64;
+  /// Epochs before an unacked frame is retransmitted (then doubled per
+  /// attempt up to << max_backoff_shift). Acks only flow when the replay
+  /// drains a site, so the effective round trip is two event-epoch gaps
+  /// (~120 epochs at the default 60-epoch injection cadence); the default
+  /// sits above that to keep retransmits loss-driven rather than spurious.
+  Epoch rto = 160;
+  int max_backoff_shift = 6;
+};
+
 /// Per-link latency model assigning arrival epochs: a frame sent at epoch
 /// t over link (from, to) with wire size b arrives at
 ///   t + base(from, to) + per_kib * ceil(b / 1024)
@@ -115,6 +225,33 @@ struct NetworkOptions {
   /// Optional per-link override of latency_base. Must be deterministic:
   /// arrival epochs feed the bit-identical replay contract.
   std::function<Epoch(SiteId from, SiteId to)> link_base;
+  /// Seeded fault injection (defaults to RFID_FAULTS, i.e. no faults when
+  /// the variable is unset).
+  FaultModel faults;
+  ReliabilityOptions reliability;
+
+  NetworkOptions();
+};
+
+/// Injected-fault counters (every fault charged its wire bytes -- the
+/// frame was transmitted; the fault happened to it afterwards).
+struct FaultStats {
+  int64_t drops = 0;
+  int64_t duplicates = 0;
+  int64_t reorders = 0;
+  int64_t corrupts = 0;
+  int64_t partition_drops = 0;
+};
+
+/// Reliability-protocol counters: the retransmission tax Table 5 reports,
+/// plus receiver-side duplicate suppression and crash purges.
+struct ReliableStats {
+  int64_t retransmits = 0;
+  int64_t retransmit_bytes = 0;
+  int64_t dup_drops = 0;
+  /// Frames discarded by SetSiteDown (in the transport, the pending
+  /// queue, or unacked/deferred sender state) when a site crashed.
+  int64_t crash_frames_lost = 0;
 };
 
 /// The byte-accounted message fabric. Owns a Transport backend and the
@@ -144,10 +281,11 @@ class Network {
   /// delivery are identical with or without it.
   void SetTelemetry(obs::Telemetry* telemetry);
 
-  /// Sets the link latency model. Arrival epochs are computed as frames
-  /// are drained from the transport, so the model must be in place before
-  /// anything is in flight (checked): reconfiguring mid-flight would
-  /// retroactively reschedule already-sent frames.
+  /// Sets the link latency model, fault model, and reliability mode.
+  /// Arrival epochs are computed as frames are drained from the transport,
+  /// so the model must be in place before anything is in flight (checked):
+  /// reconfiguring mid-flight would retroactively reschedule already-sent
+  /// frames.
   void Configure(NetworkOptions options);
 
   /// Advances the send clock: subsequent Sends carry `now` as their send
@@ -162,14 +300,61 @@ class Network {
   /// Frames `payload` and queues it from `from` to `to` with the current
   /// clock as send epoch. The framed wire size (header + payload +
   /// checksum) is charged to the (from, to) link and the kind counter even
-  /// when `to` has no handler. Returns the wire bytes charged.
+  /// when `to` has no handler. Returns the frame's wire size.
+  ///
+  /// Under the reliability protocol the frame is assigned the link's next
+  /// link_seq and tracked for ack/retransmit; when the link's in-flight
+  /// window is full it is deferred (charged when actually transmitted).
+  /// Fault fates (drop/duplicate/reorder/corrupt/partition) apply per
+  /// transmission attempt; every attempt that puts bytes on the wire is
+  /// charged, including duplicates and retransmits.
   size_t Send(SiteId from, SiteId to, MessageKind kind,
               const std::vector<uint8_t>& payload);
 
   /// Drains every frame addressed to `site` whose arrival epoch is <= now
   /// into `site`'s handler, in (arrival epoch, send sequence) order.
-  /// Frames not yet due stay queued (in flight). Returns frames delivered.
+  /// Frames not yet due stay queued (in flight). Returns frames popped
+  /// from the arrival queue (kAck frames and suppressed duplicates count
+  /// as popped but are consumed by the protocol, not the handler). A site
+  /// marked down by SetSiteDown receives nothing. After the sweep the
+  /// receiver sends one cumulative kAck per peer link that delivered.
   int DeliverDue(SiteId site, Epoch now);
+
+  /// Retransmits every tracked frame whose retry timer expired at `now`
+  /// (exponential backoff per attempt) and releases deferred frames into
+  /// links with window room. Call once per event epoch, before draining.
+  /// No-op when the reliability protocol is off.
+  void TickReliability(Epoch now);
+
+  /// Marks `site` crashed (down = true): every frame currently queued for
+  /// it -- in the transport, in the pending arrival queue, or tracked/
+  /// deferred toward it by the reliability layer -- is discarded, and both
+  /// directions of every peer's link INTO the site reset to a fresh link
+  /// epoch (link_seq restarts; the crashed receiver's dedup state is
+  /// gone). The site's own outbound tracking survives -- the fabric, not
+  /// the site, owns it. While down, DeliverDue delivers nothing and
+  /// TickReliability does not retransmit toward it; frames sent to it
+  /// queue for delivery after recovery. Returns the number of frames
+  /// discarded (also added to reliable_stats().crash_frames_lost).
+  int64_t SetSiteDown(SiteId site, bool down);
+  bool IsSiteDown(SiteId site) const { return down_.count(site) > 0; }
+
+  /// True when the reliability protocol still has undelivered work:
+  /// unacked or deferred frames on any link whose destination is up.
+  bool HasReliabilityWork() const;
+
+  /// True when every tracked link is fully acked (cumulative ack == last
+  /// link_seq assigned) with nothing deferred -- the exactly-once
+  /// convergence condition fault_test asserts.
+  bool AllReliableDelivered() const;
+
+  /// Whether the reliability protocol is active (resolved from
+  /// ReliabilityOptions::mode and the fault model at Configure time).
+  bool reliable() const { return reliable_; }
+  const FaultModel& faults() const { return options_.faults; }
+
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  const ReliableStats& reliable_stats() const { return reliable_stats_; }
 
   int64_t total_bytes() const { return total_bytes_; }
   int64_t total_messages() const { return total_messages_; }
@@ -197,8 +382,9 @@ class Network {
   TransportKind transport_kind() const { return transport_kind_; }
   const Transport& transport() const { return *transport_; }
 
-  /// Zeroes every traffic counter; handlers, queued frames, the clock,
-  /// and the in-flight gauges (which describe live queue state) stay.
+  /// Zeroes every traffic counter (including fault/reliability stats);
+  /// handlers, queued frames, the clock, reliability protocol state, and
+  /// the in-flight gauges (which describe live queue state) stay.
   void ResetCounters();
 
  private:
@@ -216,23 +402,69 @@ class Network {
       std::priority_queue<QueuedFrame, std::vector<QueuedFrame>,
                           LaterArrival>;
 
+  /// Ack/retransmit state per transmitted-but-unacked frame.
+  struct TrackedFrame {
+    Frame frame;
+    Epoch next_retry = 0;
+    uint32_t attempts = 1;  ///< transmission attempts so far
+  };
+  /// Sender-side per-directed-link state.
+  struct LinkSendState {
+    uint64_t next_link_seq = 1;
+    std::map<uint64_t, TrackedFrame> unacked;  ///< by link_seq, ordered
+    std::deque<Frame> deferred;  ///< window overflow, not yet transmitted
+  };
+  /// Receiver-side per-directed-link state.
+  struct LinkRecvState {
+    uint64_t cum = 0;  ///< all link_seq <= cum delivered
+    std::set<uint64_t> out_of_order;
+    bool ack_pending = false;
+  };
+
   static uint64_t LinkKey(SiteId from, SiteId to) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
            static_cast<uint32_t>(to);
   }
+  static SiteId LinkFrom(uint64_t key) {
+    return static_cast<SiteId>(static_cast<int32_t>(key >> 32));
+  }
+  static SiteId LinkTo(uint64_t key) {
+    return static_cast<SiteId>(static_cast<int32_t>(key & 0xffffffffu));
+  }
 
   Epoch LatencyOf(SiteId from, SiteId to, size_t wire_bytes) const;
+
+  /// Charges `frame`'s wire size and puts it on the wire, applying the
+  /// fault model to this attempt. Enqueued copies raise the in-flight
+  /// gauges; faulted-away copies (drop/corrupt/partition) are charged but
+  /// never in flight.
+  void Transmit(const Frame& frame, uint32_t attempt);
+  /// Assigns the link's next link_seq, transmits, and tracks for
+  /// ack/retransmit.
+  void TrackAndTransmit(LinkSendState* link, Frame frame);
+  /// Processes a received cumulative ack for link (frame.to is the ack's
+  /// receiver = the original sender).
+  void HandleAck(const Frame& ack);
+  /// Moves deferred frames into the window while there is room.
+  void ReleaseDeferred(LinkSendState* link);
+  void ChargeCounters(const Frame& frame, size_t wire);
+  void BumpTelemetry(const char* name, int64_t n);
 
   std::unique_ptr<Transport> transport_;
   TransportKind transport_kind_ = TransportKind::kInProcess;
   obs::Telemetry* telemetry_ = nullptr;
   NetworkOptions options_;
+  bool reliable_ = false;
   Epoch now_ = 0;
   uint64_t next_seq_ = 0;
 
   std::unordered_map<SiteId, MessageHandler> handlers_;
   /// Frames drained from the transport but not yet due for delivery.
   std::unordered_map<SiteId, ArrivalQueue> pending_;
+
+  std::map<uint64_t, LinkSendState> send_links_;  ///< ordered: determinism
+  std::map<uint64_t, LinkRecvState> recv_links_;
+  std::unordered_set<SiteId> down_;
 
   std::unordered_map<uint64_t, int64_t> link_bytes_;
   std::unordered_map<uint64_t, int64_t> link_messages_;
@@ -242,6 +474,8 @@ class Network {
   int64_t total_messages_ = 0;
   int64_t in_flight_bytes_ = 0;
   int64_t in_flight_messages_ = 0;
+  FaultStats fault_stats_;
+  ReliableStats reliable_stats_;
 };
 
 }  // namespace rfid

@@ -69,6 +69,10 @@ struct SiteOptions {
   /// A.4): a per-site pallet-level engine whose state also migrates on
   /// transfers and whose answers back BelievedPallet.
   bool hierarchical = false;
+  /// Keep a copy of every exported envelope so a crashed-and-rebuilt peer
+  /// can re-request the state it lost (MessageKind::kRecoveryRequest).
+  /// Enabled by DistributedSystem when a crash schedule is configured.
+  bool retain_exports = false;
 };
 
 /// A decoded inbound state transfer waiting for its arrival epoch. `states`
@@ -149,6 +153,13 @@ class Site {
   /// Drops local query state of objects leaving the tracked supply chain.
   void Retire(const ObjectTransfer& tr);
 
+  /// Replays ExportTransfer's *local* side effects without sending
+  /// anything: retires exits and consumes (TakeState) the query state of
+  /// departing items. Used when rebuilding a crashed site from the raw
+  /// trace -- the live sends already happened before the crash, but the
+  /// fresh engine must not keep state the live one gave away.
+  void DropTransferState(const ObjectTransfer& tr);
+
   /// Inbound message entry point (registered with the Network).
   void HandleMessage(SiteId from, MessageKind kind,
                      const std::vector<uint8_t>& payload);
@@ -189,9 +200,20 @@ class Site {
   }
 
  private:
+  /// One envelope this site sent, kept (under SiteOptions::retain_exports)
+  /// so a recovering peer can ask for it again.
+  struct RetainedSend {
+    SiteId to = kNoSite;
+    MessageKind kind = MessageKind::kInferenceState;
+    Epoch sent_at = 0;
+    std::vector<uint8_t> payload;
+  };
+
   void FeedQueries(const std::vector<ObjectEvent>& events);
   void InstallInference(const PendingArrival& arrival);
   void InstallQueryState(const PendingQueryState& pending);
+  size_t SendRetained(SiteId to, MessageKind kind,
+                      std::vector<uint8_t> payload);
 
   SiteId id_;
   Network* network_;
@@ -212,6 +234,7 @@ class Site {
 
   std::vector<PendingArrival> pending_inference_;
   std::vector<PendingQueryState> pending_query_;
+  std::vector<RetainedSend> retained_;
 };
 
 // ---- Wire codecs shared by sites and the centralized driver ----

@@ -102,15 +102,40 @@ size_t SocketTransport::Send(Frame frame) {
     local_[frame.to].push_back(std::move(frame));
     return wire;
   }
-  const int fd = GetOrConnect(frame.from, frame.to);
   {
     obs::PhaseTimer span(telemetry_, obs::Phase::kFrameEncode,
                          frame.send_epoch);
     encode_buf_.clear();
     EncodeFrame(frame, &encode_buf_);
   }
-  obs::PhaseTimer span(telemetry_, obs::Phase::kKernelWrite,
-                       frame.send_epoch);
+  WriteEncoded(frame.from, frame.to, frame.send_epoch);
+  return wire;
+}
+
+size_t SocketTransport::SendCorrupt(Frame frame, size_t offset,
+                                    uint8_t mask) {
+  const size_t wire = FrameWireSize(frame.payload.size());
+  if (frame.to < 0 || frame.to >= num_sites()) {
+    // No wire to damage for unhosted destinations; the corrupted frame is
+    // simply lost, matching the in-process default.
+    return wire;
+  }
+  {
+    obs::PhaseTimer span(telemetry_, obs::Phase::kFrameEncode,
+                         frame.send_epoch);
+    encode_buf_.clear();
+    EncodeFrame(frame, &encode_buf_);
+  }
+  if (offset < encode_buf_.size() && mask != 0) {
+    encode_buf_[offset] ^= mask;
+  }
+  WriteEncoded(frame.from, frame.to, frame.send_epoch);
+  return wire;
+}
+
+void SocketTransport::WriteEncoded(SiteId from, SiteId to, Epoch epoch) {
+  const int fd = GetOrConnect(from, to);
+  obs::PhaseTimer span(telemetry_, obs::Phase::kKernelWrite, epoch);
   size_t written = 0;
   while (written < encode_buf_.size()) {
     const ssize_t n = write(fd, encode_buf_.data() + written,
@@ -123,13 +148,12 @@ size_t SocketTransport::Send(Frame frame) {
       // Receive buffer full: play the remote reader ourselves -- drain the
       // destination's sockets into user-space frames, freeing kernel
       // buffer space, then finish the write.
-      Pump(frame.to);
+      Pump(to);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     FatalErrno("write(frame)");
   }
-  return wire;
 }
 
 void SocketTransport::Pump(int site) {
@@ -167,9 +191,20 @@ void SocketTransport::Pump(int site) {
       const Status st = DecodeFrame(conn.buf.data() + pos,
                                     conn.buf.size() - pos, &frame, &consumed);
       if (FrameIncomplete(st)) break;
-      // Corruption inside one process is a codec or transport bug, never
-      // recoverable input.
-      RFID_CHECK_OK(st);
+      if (!st.ok()) {
+        // A checksum mismatch under a parseable header is recoverable
+        // wire damage: drop the frame, count it, skip to the next frame
+        // boundary, and keep the connection alive. consumed == 0 means
+        // framing itself is gone (bad magic/version/length) -- that is a
+        // codec or transport bug, never recoverable input.
+        RFID_CHECK_OK(consumed > 0 ? Status::OK() : st);
+        ++crc_drops_;
+        if (telemetry_ != nullptr) {
+          telemetry_->registry().GetCounter("transport/crc_drops")->Add(1);
+        }
+        pos += consumed;
+        continue;
+      }
       pos += consumed;
       parsed_[static_cast<size_t>(site)].push_back(std::move(frame));
     }

@@ -39,10 +39,26 @@ class SocketTransport : public Transport {
   SocketTransport& operator=(const SocketTransport&) = delete;
 
   size_t Send(Frame frame) override;
+  /// Really writes the damaged encoding (one byte XORed by `mask` at
+  /// `offset`) through the kernel; the receiving Pump's CRC check drops
+  /// the frame and counts a crc_drop. The corruption the FaultModel
+  /// injects thereby exercises the same code path a hostile wire would.
+  size_t SendCorrupt(Frame frame, size_t offset, uint8_t mask) override;
   void Drain(SiteId site, std::vector<Frame>* out) override;
   std::string name() const override { return "socket"; }
 
   int num_sites() const { return static_cast<int>(listeners_.size()); }
+
+  /// Reassembled frames dropped for a CRC mismatch (or an unknown kind
+  /// under a valid CRC) -- the connection stays alive and later frames
+  /// keep flowing. Mirrored to the "transport/crc_drops" counter.
+  int64_t crc_drops() const { return crc_drops_; }
+
+  /// The abstract-namespace listener address of `site`, for tests that
+  /// connect their own socket and write raw (possibly corrupted) bytes.
+  std::string ListenerAddressForTest(int site) const {
+    return ListenerName(site);
+  }
 
   /// Attaches the run's telemetry: frame encode / kernel write / kernel
   /// read spans (obs/telemetry.h). Null detaches. Observation only.
@@ -61,6 +77,9 @@ class SocketTransport : public Transport {
   /// available byte, decoding complete frames into parsed_[site].
   void Pump(int site);
   int GetOrConnect(SiteId from, SiteId to);
+  /// Writes encode_buf_ over the (from, to) connection, pumping the
+  /// destination on EAGAIN.
+  void WriteEncoded(SiteId from, SiteId to, Epoch epoch);
 
   static uint64_t LinkKey(SiteId from, SiteId to) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
@@ -75,6 +94,7 @@ class SocketTransport : public Transport {
   /// Destinations with no listener (kDirectorySite etc.).
   std::unordered_map<SiteId, std::vector<Frame>> local_;
   std::vector<uint8_t> encode_buf_;
+  int64_t crc_drops_ = 0;
   obs::Telemetry* telemetry_ = nullptr;
 };
 

@@ -30,6 +30,8 @@ const char* PhaseName(Phase phase) {
       return "kernel_write";
     case Phase::kKernelRead:
       return "kernel_read";
+    case Phase::kCrashRecovery:
+      return "crash_recovery";
   }
   return "unknown";
 }

@@ -43,9 +43,11 @@ enum class Phase : uint8_t {
   kFrameEncode,       ///< socket backend: frame serialization
   kKernelWrite,       ///< socket backend: write(2) loop
   kKernelRead,        ///< socket backend: accept/read/decode pump
+  // Fault-tolerance phases (kDriverTrack; appended to keep values stable).
+  kCrashRecovery,     ///< rebuild of a crashed site from its raw trace
 };
 
-inline constexpr int kNumPhases = 11;
+inline constexpr int kNumPhases = 12;
 
 /// Stable lowercase name ("window_compute"); the registry key is
 /// "phase/" + PhaseName.

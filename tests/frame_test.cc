@@ -23,6 +23,7 @@ Frame SampleFrame() {
   f.kind = MessageKind::kQueryState;
   f.send_epoch = 123456789;
   f.seq = 42;
+  f.link_seq = 17;
   f.payload = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x01};
   return f;
 }
@@ -87,18 +88,64 @@ TEST(FrameTest, CorruptionIsRejected) {
       EXPECT_EQ(st.code(), StatusCode::kCorruption) << "flipped byte " << i;
     }
   }
-  // An implausible payload length is rejected before any allocation.
+  // An implausible payload length is rejected before any allocation, and
+  // marked unresynchronizable (consumed = 0): the length cannot be
+  // trusted to skip the frame.
   std::vector<uint8_t> huge = wire;
-  huge[30] = 0xff;
-  huge[31] = 0xff;
-  huge[32] = 0xff;
-  huge[33] = 0xff;
+  huge[38] = 0xff;
+  huge[39] = 0xff;
+  huge[40] = 0xff;
+  huge[41] = 0xff;
   Frame decoded;
   size_t consumed = 0;
   const Status st = DecodeFrame(huge.data(), huge.size(), &decoded,
                                 &consumed);
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_EQ(consumed, 0u);
+}
+
+TEST(FrameTest, ChecksumMismatchIsResyncable) {
+  // A payload flip keeps the header trustworthy: the decode must fail
+  // with Corruption but report the full wire size so a streaming reader
+  // can skip the frame and keep decoding at the next boundary.
+  Frame a = SampleFrame();
+  Frame b = SampleFrame();
+  b.seq = 43;
+  b.payload = {7, 8, 9, 10};
+  std::vector<uint8_t> stream;
+  EncodeFrame(a, &stream);
+  const size_t a_wire = stream.size();
+  EncodeFrame(b, &stream);
+  stream[kFrameHeaderBytes + 2] ^= 0x5a;  // corrupt a's payload
+
+  Frame decoded;
+  size_t consumed = 0;
+  const Status st =
+      DecodeFrame(stream.data(), stream.size(), &decoded, &consumed);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  ASSERT_EQ(consumed, a_wire);
+
+  size_t consumed2 = 0;
+  ASSERT_TRUE(DecodeFrame(stream.data() + consumed, stream.size() - consumed,
+                          &decoded, &consumed2)
+                  .ok());
+  EXPECT_EQ(decoded, b);
+}
+
+TEST(FrameTest, UnsupportedVersionIsFatal) {
+  // A version-1 (or any non-current) frame is a framing-level failure:
+  // the layout after the version byte is unknown, so no resync.
+  std::vector<uint8_t> wire = EncodeFrameToBytes(SampleFrame());
+  wire[4] = 1;
+  Frame decoded;
+  size_t consumed = 0;
+  const Status st = DecodeFrame(wire.data(), wire.size(), &decoded,
+                                &consumed);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_EQ(consumed, 0u);
 }
 
 TEST(FrameTest, StreamingDecodeOfConcatenatedFrames) {
