@@ -59,7 +59,9 @@ int Main() {
         if (ss != kNoLocation) ss_loc.Add(ss == truth_loc);
       }
     }
-    table.AddRow({"T" + std::to_string(t),
+    std::string trace_label = "T";
+    trace_label += std::to_string(t);
+    table.AddRow({trace_label,
                   TablePrinter::Fmt(cfg.spec.read_rate, 2),
                   TablePrinter::Fmt(cfg.spec.overlap, 2),
                   cfg.spec.with_changes ? "yes" : "no",

@@ -39,6 +39,9 @@ check_links() {
 }
 check_links || { echo "Docs link check FAILED"; exit 1; }
 
+echo "==> Static analysis: -Werror build, repo lint, clang stages if present"
+ci/static_analysis.sh
+
 echo "==> Tier-1: Release build + full ctest (tests, bench smoke)"
 cmake -B build -S .
 cmake --build build -j "${JOBS}"

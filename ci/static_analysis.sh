@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Static-analysis stage (docs/ARCHITECTURE.md "Static analysis"):
+#
+#   1. Warnings-as-errors build: src/ under -Wall -Wextra -Wshadow
+#      -Wconversion -Werror (RFID_WERROR=ON). Always runs -- any
+#      C++17-era compiler enforces it.
+#   2. Repo-invariant lint: tools/lint/rfid_lint.py (MessageKind/Phase
+#      enum coverage, determinism purity in src/dist/, NaN-when-
+#      unmeasured accessors). Always runs -- needs only python3.
+#   3. Clang thread-safety analysis: a clang build of src/ with
+#      -Wthread-safety -Werror=thread-safety, checking the GUARDED_BY /
+#      REQUIRES / capability annotations in common/thread_annotations.h.
+#      Skipped with a notice when clang++ is not installed.
+#   4. clang-tidy over src/ bench/ tests/ (.clang-tidy profile,
+#      warnings-as-errors). Skipped when clang-tidy is not installed.
+#   5. clang-format --dry-run -Werror over the same trees (.clang-format).
+#      Skipped when clang-format is not installed.
+#
+# Runtime budget: stages 1-2 add ~1 compile of src/ plus a <5s python
+# scan on top of the tier-1 build. Stages 3-5 (when clang is present)
+# roughly double that -- one extra src/ compile plus a tidy pass that
+# dominates at ~1-2 min on a 4-core runner. Total stays under the
+# sanitizer passes that follow in build_and_test.sh.
+#
+# Usage: ci/static_analysis.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FAILED=0
+
+echo "==> Static analysis 1/5: -Werror build of src/ (RFID_WERROR=ON)"
+cmake -B build-werror -S . -DRFID_WERROR=ON >/dev/null
+cmake --build build-werror -j "${JOBS}" --target rfid_core
+
+echo "==> Static analysis 2/5: repo-invariant lint (tools/lint/rfid_lint.py)"
+python3 tools/lint/rfid_lint.py --root .
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "==> Static analysis 3/5: clang thread-safety analysis of src/"
+  cmake -B build-tsa -S . \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DRFID_WERROR=ON >/dev/null
+  cmake --build build-tsa -j "${JOBS}" --target rfid_core
+else
+  echo "==> Static analysis 3/5: SKIPPED (clang++ not installed;" \
+       "thread-safety annotations not machine-checked on this runner)"
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "==> Static analysis 4/5: clang-tidy (src/ bench/ tests/)"
+  # Reuse (or create) a clang compile database so tidy sees real flags.
+  if [[ ! -f build-tsa/compile_commands.json ]]; then
+    cmake -B build-tsa -S . \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  mapfile -t TIDY_SOURCES < <(find src bench tests \
+    -name '*.cc' -o -name '*.cpp' | sort)
+  clang-tidy -p build-tsa --quiet "${TIDY_SOURCES[@]}" || FAILED=1
+else
+  echo "==> Static analysis 4/5: SKIPPED (clang-tidy not installed)"
+fi
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "==> Static analysis 5/5: clang-format check (no reformat)"
+  mapfile -t FMT_SOURCES < <(find src bench tests \
+    -name '*.cc' -o -name '*.cpp' -o -name '*.h' | sort)
+  clang-format --dry-run -Werror "${FMT_SOURCES[@]}" || FAILED=1
+else
+  echo "==> Static analysis 5/5: SKIPPED (clang-format not installed)"
+fi
+
+if [[ "${FAILED}" != "0" ]]; then
+  echo "Static analysis FAILED"
+  exit 1
+fi
+echo "==> Static analysis green"

@@ -165,6 +165,9 @@ DistributedSystem::~DistributedSystem() = default;
 void DistributedSystem::Run() {
   if (ran_) return;
   ran_ = true;
+  // Run's body IS the serial phase; workers it fans out only take shared
+  // reads (BelievedContainer, IsSiteDown).
+  phase_.AssertHeld();
 
   const Epoch horizon = sim_->config().horizon;
   const Epoch period = options_.site.streaming.inference_period;
@@ -311,6 +314,7 @@ void DistributedSystem::Run() {
         // resolver cache enabled this repeat costs zero wire bytes.
         if (!centralized()) ons_.Resolve(tr.pallet, tr.to);
         auto reassign = [&](TagId tag) {
+          phase_.AssertHeld();  // lambda body: re-establish for analysis
           owner_[tag] = tr.to;
           ons_.Register(tag, tr.to);
         };
@@ -436,6 +440,7 @@ void DistributedSystem::Run() {
         }
         if (tr.to == kNoSite) {
           auto drop = [&](TagId tag) {
+            phase_.AssertHeld();  // lambda body: re-establish for analysis
             owner_.erase(tag);
             ons_.Unregister(tag);
           };
@@ -493,6 +498,8 @@ void DistributedSystem::Run() {
 void DistributedSystem::CrashSite(SiteId s, Epoch at) {
   // Freeze the dead site's current containment answers: queries during
   // the outage degrade to this last-known view instead of failing.
+  // lint:allow(unordered-iter): keyed writes into degraded_beliefs_; no
+  // accumulation or send depends on visit order.
   for (const auto& [tag, site] : owner_) {
     if (site != s) continue;
     degraded_beliefs_[tag] =
@@ -586,6 +593,8 @@ void DistributedSystem::RecoverSite(SiteId s, Epoch t) {
 
   // The site answers live again: drop every degraded entry whose owner is
   // back up (entries for tags owned by a still-down site stay).
+  // lint:allow(unordered-iter): pure per-key filter; surviving set is
+  // independent of visit order.
   for (auto it = degraded_beliefs_.begin(); it != degraded_beliefs_.end();) {
     auto o = owner_.find(it->first);
     const bool keep = o != owner_.end() && o->second >= 0 &&
@@ -596,6 +605,7 @@ void DistributedSystem::RecoverSite(SiteId s, Epoch t) {
 }
 
 Site* DistributedSystem::OwnerSite(TagId object) const {
+  phase_.AssertShared();
   if (centralized()) return sites_[0].get();
   auto it = owner_.find(object);
   if (it == owner_.end() || it->second < 0 ||
@@ -606,6 +616,7 @@ Site* DistributedSystem::OwnerSite(TagId object) const {
 }
 
 TagId DistributedSystem::BelievedContainer(TagId object) const {
+  phase_.AssertShared();
   if (!centralized()) {
     auto it = owner_.find(object);
     if (it != owner_.end() && it->second >= 0 &&
@@ -621,9 +632,11 @@ TagId DistributedSystem::BelievedContainer(TagId object) const {
 }
 
 TagId DistributedSystem::BelievedPallet(TagId object) const {
+  phase_.AssertShared();
   if (centralized()) return sites_[0]->BelievedPallet(object);
   if (!options_.site.hierarchical) return kNoTag;
   auto owned = [&](TagId tag) {
+    phase_.AssertShared();  // lambda body: re-establish for analysis
     auto it = owner_.find(tag);
     return it != owner_.end() && it->second >= 0 &&
            it->second < static_cast<SiteId>(sites_.size());

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 #include "dist/executor.h"
 #include "dist/network.h"
 #include "dist/ons.h"
@@ -259,11 +260,11 @@ class DistributedSystem {
   /// answers into degraded_beliefs_ (the last-known view queries fall back
   /// to during the outage), purges every frame queued for it, and swaps in
   /// a pristine replacement that stays isolated until recovery.
-  void CrashSite(SiteId s, Epoch at);
+  void CrashSite(SiteId s, Epoch at) REQUIRES(phase_);
   /// Brings site `s` back at epoch `t`: requests retained state from every
   /// peer, then replays the site's own raw trace through every inference
   /// boundary before `t` so its engines converge to the pre-crash state.
-  void RecoverSite(SiteId s, Epoch t);
+  void RecoverSite(SiteId s, Epoch t) REQUIRES(phase_);
 
   const SupplyChainSim* sim_;
   DistributedOptions options_;
@@ -277,20 +278,28 @@ class DistributedSystem {
   Ons ons_;
   std::vector<std::unique_ptr<Site>> sites_;
 
+  /// Serial-phase capability over the crash/recovery and ownership
+  /// bookkeeping: written only in Run's serial phases (exclusive), read
+  /// concurrently by ScanContainment's workers through BelievedContainer
+  /// (shared). Same discipline as Network::phase_.
+  SerialPhase phase_;
+
   /// Current owning processor per tag (tracks transfers as they arrive).
-  std::unordered_map<TagId, SiteId> owner_;
+  std::unordered_map<TagId, SiteId> owner_ GUARDED_BY(phase_);
   std::vector<ErrorSnapshot> snapshots_;
   /// Case→pallet samples (hierarchical runs only; see case_snapshots()).
   std::vector<ErrorSnapshot> case_snapshots_;
   /// Per-site read cursor into the raw trace (member so a crashed site's
-  /// rebuild can rewind and re-consume its own readings).
+  /// rebuild can rewind and re-consume its own readings). Partitioned by
+  /// site index: window workers write disjoint elements, which GUARDED_BY
+  /// cannot express -- keep it that way.
   std::vector<size_t> cursors_;
   /// Last-known containment answer per tag owned by a currently-down site;
   /// queries during the outage answer from this snapshot.
-  std::unordered_map<TagId, TagId> degraded_beliefs_;
+  std::unordered_map<TagId, TagId> degraded_beliefs_ GUARDED_BY(phase_);
   /// Crash epoch of each currently-down site (the kRecoveryRequest
   /// payload: peers re-send only state sent strictly before it).
-  std::unordered_map<SiteId, Epoch> crash_at_;
+  std::unordered_map<SiteId, Epoch> crash_at_ GUARDED_BY(phase_);
   Epoch reliability_flush_epochs_ = 0;
   bool ran_ = false;
 };

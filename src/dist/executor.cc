@@ -18,10 +18,10 @@ SiteExecutor::SiteExecutor(int num_threads)
 
 SiteExecutor::~SiteExecutor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -31,44 +31,47 @@ void SiteExecutor::Run(size_t n, const Task& fn) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   task_ = &fn;
   next_ = 0;
   n_ = n;
   done_ = 0;
   ++generation_;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The caller is one of the executors: claim under the lock, run outside.
   while (next_ < n_) {
     const size_t i = next_++;
-    lock.unlock();
+    mu_.Unlock();
     fn(i);
-    lock.lock();
+    mu_.Lock();
     ++done_;
   }
-  done_cv_.wait(lock, [&] { return done_ == n_; });
+  while (done_ != n_) done_cv_.Wait(&mu_);
   task_ = nullptr;
+  mu_.Unlock();
 }
 
 void SiteExecutor::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   uint64_t seen = 0;
   while (true) {
-    work_cv_.wait(lock, [&] {
-      return stop_ || (generation_ != seen && task_ != nullptr && next_ < n_);
-    });
-    if (stop_) return;
+    while (!(stop_ ||
+             (generation_ != seen && task_ != nullptr && next_ < n_))) {
+      work_cv_.Wait(&mu_);
+    }
+    if (stop_) break;
     seen = generation_;
     while (task_ != nullptr && next_ < n_) {
       const size_t i = next_++;
       const Task* fn = task_;
-      lock.unlock();
+      mu_.Unlock();
       (*fn)(i);
-      lock.lock();
+      mu_.Lock();
       ++done_;
-      if (done_ == n_) done_cv_.notify_all();
+      if (done_ == n_) done_cv_.NotifyAll();
     }
   }
+  mu_.Unlock();
 }
 
 }  // namespace rfid

@@ -20,13 +20,13 @@
 #ifndef RFID_DIST_EXECUTOR_H_
 #define RFID_DIST_EXECUTOR_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace rfid {
 
@@ -72,15 +72,15 @@ class SiteExecutor {
   // All task state is guarded by mu_. Indices are claimed under the lock
   // and executed outside it; items are coarse (a whole site window), so
   // dispatch contention is negligible against inference cost.
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const Task* task_ = nullptr;
-  size_t next_ = 0;
-  size_t n_ = 0;
-  size_t done_ = 0;
-  uint64_t generation_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  const Task* task_ GUARDED_BY(mu_) = nullptr;
+  size_t next_ GUARDED_BY(mu_) = 0;
+  size_t n_ GUARDED_BY(mu_) = 0;
+  size_t done_ GUARDED_BY(mu_) = 0;
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rfid

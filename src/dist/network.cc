@@ -152,6 +152,7 @@ Network::Network() : transport_(std::make_unique<InProcessTransport>()) {}
 Network::~Network() = default;
 
 void Network::ConfigureTransport(TransportKind kind, int num_sites) {
+  phase_.AssertHeld();
   RFID_CHECK_OK(in_flight_messages_ == 0
                     ? Status::OK()
                     : Status::Internal("ConfigureTransport with frames in "
@@ -178,6 +179,7 @@ void Network::SetTelemetry(obs::Telemetry* telemetry) {
 }
 
 void Network::Configure(NetworkOptions options) {
+  phase_.AssertHeld();
   RFID_CHECK_OK(in_flight_messages_ == 0
                     ? Status::OK()
                     : Status::Internal("Configure with frames in flight "
@@ -190,6 +192,7 @@ void Network::Configure(NetworkOptions options) {
 }
 
 void Network::RegisterHandler(SiteId site, MessageHandler handler) {
+  phase_.AssertHeld();
   handlers_[site] = std::move(handler);
 }
 
@@ -322,6 +325,7 @@ void Network::HandleAck(const Frame& ack) {
 
 size_t Network::Send(SiteId from, SiteId to, MessageKind kind,
                      const std::vector<uint8_t>& payload) {
+  phase_.AssertHeld();
   obs::PhaseTimer span(telemetry_, obs::Phase::kTransportSend, now_);
   Frame frame;
   frame.from = from;
@@ -348,6 +352,7 @@ size_t Network::Send(SiteId from, SiteId to, MessageKind kind,
 }
 
 int Network::DeliverDue(SiteId site, Epoch now) {
+  phase_.AssertHeld();
   // A crashed site receives nothing; its traffic backlog is purged by
   // SetSiteDown and anything sent during the outage waits in the
   // transport/pending queue for recovery.
@@ -428,6 +433,7 @@ int Network::DeliverDue(SiteId site, Epoch now) {
 }
 
 void Network::TickReliability(Epoch now) {
+  phase_.AssertHeld();
   if (!reliable_) return;
   // send_links_ is an ordered map, so the retransmission sweep visits
   // links in a deterministic order on every backend.
@@ -455,6 +461,7 @@ void Network::TickReliability(Epoch now) {
 }
 
 int64_t Network::SetSiteDown(SiteId site, bool down) {
+  phase_.AssertHeld();
   if (!down) {
     down_.erase(site);
     return 0;
@@ -509,6 +516,7 @@ int64_t Network::SetSiteDown(SiteId site, bool down) {
 }
 
 bool Network::HasReliabilityWork() const {
+  phase_.AssertShared();
   for (const auto& [key, link] : send_links_) {
     if (down_.count(LinkTo(key)) > 0) continue;
     if (!link.unacked.empty() || !link.deferred.empty()) return true;
@@ -517,6 +525,7 @@ bool Network::HasReliabilityWork() const {
 }
 
 bool Network::AllReliableDelivered() const {
+  phase_.AssertShared();
   for (const auto& [key, link] : send_links_) {
     if (!link.unacked.empty() || !link.deferred.empty()) return false;
     auto rit = recv_links_.find(key);
@@ -527,16 +536,19 @@ bool Network::AllReliableDelivered() const {
 }
 
 int64_t Network::BytesOnLink(SiteId from, SiteId to) const {
+  phase_.AssertShared();
   auto it = link_bytes_.find(LinkKey(from, to));
   return it == link_bytes_.end() ? 0 : it->second;
 }
 
 int64_t Network::MessagesOnLink(SiteId from, SiteId to) const {
+  phase_.AssertShared();
   auto it = link_messages_.find(LinkKey(from, to));
   return it == link_messages_.end() ? 0 : it->second;
 }
 
 void Network::ResetCounters() {
+  phase_.AssertHeld();
   link_bytes_.clear();
   link_messages_.clear();
   for (int64_t& b : kind_bytes_) b = 0;

@@ -47,6 +47,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "dist/frame.h"
 
@@ -259,7 +260,12 @@ struct ReliableStats {
 /// bulk-synchronous executor (dist/executor.h) every Send and DeliverDue
 /// happens in a serial boundary phase -- never concurrently with per-site
 /// parallel work -- which keeps the per-link/per-kind accounting race-free
-/// without locks.
+/// without locks. That contract is machine-checked: the fabric state is
+/// GUARDED_BY(phase_), a zero-cost SerialPhase capability
+/// (common/thread_annotations.h). Mutators assert exclusive access (debug
+/// builds additionally pin them to the one serial thread); the accessors
+/// that parallel window phases legitimately read -- IsSiteDown and the
+/// counter getters -- assert shared access only.
 class Network {
  public:
   /// In-process backend, zero-latency links.
@@ -290,8 +296,14 @@ class Network {
 
   /// Advances the send clock: subsequent Sends carry `now` as their send
   /// epoch. The replay calls this once per event epoch.
-  void AdvanceClock(Epoch now) { now_ = now; }
-  Epoch now() const { return now_; }
+  void AdvanceClock(Epoch now) {
+    phase_.AssertHeld();
+    now_ = now;
+  }
+  Epoch now() const {
+    phase_.AssertShared();
+    return now_;
+  }
 
   /// Installs the handler for messages addressed to `site`, replacing any
   /// existing one. Handlers run inside DeliverDue, not inside Send.
@@ -337,7 +349,12 @@ class Network {
   /// queue for delivery after recovery. Returns the number of frames
   /// discarded (also added to reliable_stats().crash_frames_lost).
   int64_t SetSiteDown(SiteId site, bool down);
-  bool IsSiteDown(SiteId site) const { return down_.count(site) > 0; }
+  /// Read concurrently by window/scan workers (BelievedContainer's
+  /// degraded-mode check): shared access to serially-written state.
+  bool IsSiteDown(SiteId site) const {
+    phase_.AssertShared();
+    return down_.count(site) > 0;
+  }
 
   /// True when the reliability protocol still has undelivered work:
   /// unacked or deferred frames on any link whose destination is up.
@@ -353,18 +370,36 @@ class Network {
   bool reliable() const { return reliable_; }
   const FaultModel& faults() const { return options_.faults; }
 
-  const FaultStats& fault_stats() const { return fault_stats_; }
-  const ReliableStats& reliable_stats() const { return reliable_stats_; }
+  const FaultStats& fault_stats() const {
+    phase_.AssertShared();
+    return fault_stats_;
+  }
+  const ReliableStats& reliable_stats() const {
+    phase_.AssertShared();
+    return reliable_stats_;
+  }
 
-  int64_t total_bytes() const { return total_bytes_; }
-  int64_t total_messages() const { return total_messages_; }
+  int64_t total_bytes() const {
+    phase_.AssertShared();
+    return total_bytes_;
+  }
+  int64_t total_messages() const {
+    phase_.AssertShared();
+    return total_messages_;
+  }
 
   /// Frames sent but not yet delivered to a handler (still inside the
   /// transport or queued with a future arrival epoch) -- the
   /// transfers-in-flight state of the replay. Live state, not history:
   /// unlike the byte/message totals, ResetCounters leaves it intact.
-  int64_t in_flight_messages() const { return in_flight_messages_; }
-  int64_t in_flight_bytes() const { return in_flight_bytes_; }
+  int64_t in_flight_messages() const {
+    phase_.AssertShared();
+    return in_flight_messages_;
+  }
+  int64_t in_flight_bytes() const {
+    phase_.AssertShared();
+    return in_flight_bytes_;
+  }
 
   /// Bytes sent over the directed link from -> to.
   int64_t BytesOnLink(SiteId from, SiteId to) const;
@@ -373,9 +408,11 @@ class Network {
 
   /// Bytes sent with the given message kind.
   int64_t BytesOfKind(MessageKind kind) const {
+    phase_.AssertShared();
     return kind_bytes_[static_cast<size_t>(kind)];
   }
   int64_t MessagesOfKind(MessageKind kind) const {
+    phase_.AssertShared();
     return kind_messages_[static_cast<size_t>(kind)];
   }
 
@@ -438,44 +475,53 @@ class Network {
   /// fault model to this attempt. Enqueued copies raise the in-flight
   /// gauges; faulted-away copies (drop/corrupt/partition) are charged but
   /// never in flight.
-  void Transmit(const Frame& frame, uint32_t attempt);
+  void Transmit(const Frame& frame, uint32_t attempt) REQUIRES(phase_);
   /// Assigns the link's next link_seq, transmits, and tracks for
   /// ack/retransmit.
-  void TrackAndTransmit(LinkSendState* link, Frame frame);
+  void TrackAndTransmit(LinkSendState* link, Frame frame) REQUIRES(phase_);
   /// Processes a received cumulative ack for link (frame.to is the ack's
   /// receiver = the original sender).
-  void HandleAck(const Frame& ack);
+  void HandleAck(const Frame& ack) REQUIRES(phase_);
   /// Moves deferred frames into the window while there is room.
-  void ReleaseDeferred(LinkSendState* link);
-  void ChargeCounters(const Frame& frame, size_t wire);
+  void ReleaseDeferred(LinkSendState* link) REQUIRES(phase_);
+  void ChargeCounters(const Frame& frame, size_t wire) REQUIRES(phase_);
   void BumpTelemetry(const char* name, int64_t n);
 
+  /// Serial-phase capability: exclusive in boundary phases, shared from
+  /// workers (IsSiteDown, counter reads). See class comment.
+  SerialPhase phase_;
+
+  // Configured once before the replay starts (ConfigureTransport /
+  // Configure / SetTelemetry, all checked to run with nothing in flight);
+  // read-only afterwards, so not phase-guarded.
   std::unique_ptr<Transport> transport_;
   TransportKind transport_kind_ = TransportKind::kInProcess;
   obs::Telemetry* telemetry_ = nullptr;
   NetworkOptions options_;
   bool reliable_ = false;
-  Epoch now_ = 0;
-  uint64_t next_seq_ = 0;
 
-  std::unordered_map<SiteId, MessageHandler> handlers_;
+  Epoch now_ GUARDED_BY(phase_) = 0;
+  uint64_t next_seq_ GUARDED_BY(phase_) = 0;
+
+  std::unordered_map<SiteId, MessageHandler> handlers_ GUARDED_BY(phase_);
   /// Frames drained from the transport but not yet due for delivery.
-  std::unordered_map<SiteId, ArrivalQueue> pending_;
+  std::unordered_map<SiteId, ArrivalQueue> pending_ GUARDED_BY(phase_);
 
-  std::map<uint64_t, LinkSendState> send_links_;  ///< ordered: determinism
-  std::map<uint64_t, LinkRecvState> recv_links_;
-  std::unordered_set<SiteId> down_;
+  /// Ordered maps: determinism (retransmit/release sweeps iterate them).
+  std::map<uint64_t, LinkSendState> send_links_ GUARDED_BY(phase_);
+  std::map<uint64_t, LinkRecvState> recv_links_ GUARDED_BY(phase_);
+  std::unordered_set<SiteId> down_ GUARDED_BY(phase_);
 
-  std::unordered_map<uint64_t, int64_t> link_bytes_;
-  std::unordered_map<uint64_t, int64_t> link_messages_;
-  int64_t kind_bytes_[kNumMessageKinds] = {};
-  int64_t kind_messages_[kNumMessageKinds] = {};
-  int64_t total_bytes_ = 0;
-  int64_t total_messages_ = 0;
-  int64_t in_flight_bytes_ = 0;
-  int64_t in_flight_messages_ = 0;
-  FaultStats fault_stats_;
-  ReliableStats reliable_stats_;
+  std::unordered_map<uint64_t, int64_t> link_bytes_ GUARDED_BY(phase_);
+  std::unordered_map<uint64_t, int64_t> link_messages_ GUARDED_BY(phase_);
+  int64_t kind_bytes_[kNumMessageKinds] GUARDED_BY(phase_) = {};
+  int64_t kind_messages_[kNumMessageKinds] GUARDED_BY(phase_) = {};
+  int64_t total_bytes_ GUARDED_BY(phase_) = 0;
+  int64_t total_messages_ GUARDED_BY(phase_) = 0;
+  int64_t in_flight_bytes_ GUARDED_BY(phase_) = 0;
+  int64_t in_flight_messages_ GUARDED_BY(phase_) = 0;
+  FaultStats fault_stats_ GUARDED_BY(phase_);
+  ReliableStats reliable_stats_ GUARDED_BY(phase_);
 };
 
 }  // namespace rfid

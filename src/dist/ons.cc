@@ -136,6 +136,8 @@ void Ons::InvalidateCaches(TagId tag) {
   // DNS fidelity: a TTL-governed cache is never proactively invalidated;
   // consumers tolerate staleness until the record expires.
   if (options_.cache_ttl > 0) return;
+  // lint:allow(unordered-iter): iterates the outer per-site vector (in
+  // site order); each step is a keyed erase on the inner map.
   for (auto& cache : caches_) cache.erase(tag);
 }
 

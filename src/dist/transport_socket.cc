@@ -63,6 +63,8 @@ SocketTransport::SocketTransport(int num_sites)
 }
 
 SocketTransport::~SocketTransport() {
+  // lint:allow(unordered-iter): fd close-out at teardown; nothing
+  // observable depends on close order.
   for (auto& [key, fd] : out_fds_) close(fd);
   for (auto& conns : accepted_) {
     for (Conn& c : conns) close(c.fd);
@@ -97,6 +99,7 @@ int SocketTransport::GetOrConnect(SiteId from, SiteId to) {
 }
 
 size_t SocketTransport::Send(Frame frame) {
+  phase_.AssertHeld();
   const size_t wire = FrameWireSize(frame.payload.size());
   if (frame.to < 0 || frame.to >= num_sites()) {
     local_[frame.to].push_back(std::move(frame));
@@ -114,6 +117,7 @@ size_t SocketTransport::Send(Frame frame) {
 
 size_t SocketTransport::SendCorrupt(Frame frame, size_t offset,
                                     uint8_t mask) {
+  phase_.AssertHeld();
   const size_t wire = FrameWireSize(frame.payload.size());
   if (frame.to < 0 || frame.to >= num_sites()) {
     // No wire to damage for unhosted destinations; the corrupted frame is
@@ -216,6 +220,7 @@ void SocketTransport::Pump(int site) {
 }
 
 void SocketTransport::Drain(SiteId site, std::vector<Frame>* out) {
+  phase_.AssertHeld();
   if (site >= 0 && site < num_sites()) {
     Pump(site);
     std::vector<Frame>& ready = parsed_[static_cast<size_t>(site)];

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "dist/network.h"
 
 namespace rfid {
@@ -52,7 +53,10 @@ class SocketTransport : public Transport {
   /// Reassembled frames dropped for a CRC mismatch (or an unknown kind
   /// under a valid CRC) -- the connection stays alive and later frames
   /// keep flowing. Mirrored to the "transport/crc_drops" counter.
-  int64_t crc_drops() const { return crc_drops_; }
+  int64_t crc_drops() const {
+    phase_.AssertShared();
+    return crc_drops_;
+  }
 
   /// The abstract-namespace listener address of `site`, for tests that
   /// connect their own socket and write raw (possibly corrupted) bytes.
@@ -75,26 +79,32 @@ class SocketTransport : public Transport {
   std::string ListenerName(int site) const;
   /// Accepts pending connections on `site`'s listener and reads every
   /// available byte, decoding complete frames into parsed_[site].
-  void Pump(int site);
-  int GetOrConnect(SiteId from, SiteId to);
+  void Pump(int site) REQUIRES(phase_);
+  int GetOrConnect(SiteId from, SiteId to) REQUIRES(phase_);
   /// Writes encode_buf_ over the (from, to) connection, pumping the
   /// destination on EAGAIN.
-  void WriteEncoded(SiteId from, SiteId to, Epoch epoch);
+  void WriteEncoded(SiteId from, SiteId to, Epoch epoch) REQUIRES(phase_);
 
   static uint64_t LinkKey(SiteId from, SiteId to) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
            static_cast<uint32_t>(to);
   }
 
+  /// Single-threaded by the Transport contract (all calls from the
+  /// replay's serial phases); machine-checked like Network::phase_.
+  SerialPhase phase_;
+
   uint64_t instance_ = 0;
   std::vector<int> listeners_;
-  std::vector<std::vector<Conn>> accepted_;  ///< Per destination site.
-  std::vector<std::vector<Frame>> parsed_;   ///< Drained but unclaimed.
-  std::unordered_map<uint64_t, int> out_fds_;
+  std::vector<std::vector<Conn>> accepted_
+      GUARDED_BY(phase_);  ///< Per destination site.
+  std::vector<std::vector<Frame>> parsed_
+      GUARDED_BY(phase_);  ///< Drained but unclaimed.
+  std::unordered_map<uint64_t, int> out_fds_ GUARDED_BY(phase_);
   /// Destinations with no listener (kDirectorySite etc.).
-  std::unordered_map<SiteId, std::vector<Frame>> local_;
-  std::vector<uint8_t> encode_buf_;
-  int64_t crc_drops_ = 0;
+  std::unordered_map<SiteId, std::vector<Frame>> local_ GUARDED_BY(phase_);
+  std::vector<uint8_t> encode_buf_ GUARDED_BY(phase_);
+  int64_t crc_drops_ GUARDED_BY(phase_) = 0;
   obs::Telemetry* telemetry_ = nullptr;
 };
 

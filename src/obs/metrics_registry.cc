@@ -54,7 +54,8 @@ double HistogramSnapshot::Quantile(double q) const {
 
 int Histogram::BucketOf(int64_t value) {
   if (value <= 0) return 0;
-  return std::bit_width(static_cast<uint64_t>(value));
+  // bit_width of a positive int64 is in [1, 63]: always a valid bucket.
+  return static_cast<int>(std::bit_width(static_cast<uint64_t>(value)));
 }
 
 void Histogram::Record(int64_t value) {
@@ -91,7 +92,7 @@ HistogramSnapshot Histogram::Snapshot() const {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [n, inst] : instruments_) {
     if (n == name) {
       RFID_CHECK_OK(inst.counter != nullptr
@@ -110,7 +111,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [n, inst] : instruments_) {
     if (n == name) {
       RFID_CHECK_OK(inst.gauge != nullptr
@@ -129,7 +130,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [n, inst] : instruments_) {
     if (n == name) {
       RFID_CHECK_OK(inst.histogram != nullptr
@@ -155,7 +156,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 std::vector<MetricsRegistry::Entry> MetricsRegistry::Entries() const {
   std::vector<Entry> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     out.reserve(instruments_.size());
     for (const auto& [name, inst] : instruments_) {
       Entry e;

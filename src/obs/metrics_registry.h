@@ -20,9 +20,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace rfid {
 namespace obs {
@@ -133,8 +134,9 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::string, Instrument>> instruments_;
+  mutable Mutex mu_;
+  std::vector<std::pair<std::string, Instrument>> instruments_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -8,12 +8,12 @@ namespace rfid {
 namespace obs {
 
 void TraceSink::Add(const TraceEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.push_back(event);
 }
 
 size_t TraceSink::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_.size();
 }
 
@@ -37,7 +37,7 @@ JsonValue TrackName(int tid, const std::string& name) {
 std::string TraceSink::ToJson(int num_sites) const {
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     events = events_;
   }
   JsonValue trace_events = JsonValue::Array();

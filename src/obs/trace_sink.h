@@ -13,11 +13,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace rfid {
@@ -66,8 +66,8 @@ class TraceSink {
 
  private:
   const std::chrono::steady_clock::time_point origin_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -66,9 +66,16 @@ ExposureQuery::ExposureQuery(const ProductCatalog* catalog,
 void ExposureQuery::OnEvent(const ObjectEvent& event) {
   Tuple t;
   t.time = event.time;
-  t.values = {Value{event.tag}, Value{static_cast<int64_t>(event.loc)},
-              event.container.valid() ? Value{event.container}
-                                      : Value{std::monostate{}}};
+  // Built element-wise: the initializer-list form trips GCC 12's
+  // -Wmaybe-uninitialized on the temporary variant array at -O2.
+  t.values.reserve(3);
+  t.values.emplace_back(event.tag);
+  t.values.emplace_back(static_cast<int64_t>(event.loc));
+  if (event.container.valid()) {
+    t.values.emplace_back(event.container);
+  } else {
+    t.values.emplace_back(std::monostate{});
+  }
   product_filter_->Push(t);
 }
 

@@ -2,14 +2,30 @@
 
 namespace rfid {
 
+// Appends instead of operator+ chains: concatenating string literals with
+// std::string temporaries trips GCC 12's -Wrestrict (PR105651) at -O2.
 std::string ToString(const RawReading& r) {
-  return "(" + std::to_string(r.time) + ", " + r.tag.ToString() + ", reader " +
-         std::to_string(r.reader) + ")";
+  std::string out = "(";
+  out += std::to_string(r.time);
+  out += ", ";
+  out += r.tag.ToString();
+  out += ", reader ";
+  out += std::to_string(r.reader);
+  out += ")";
+  return out;
 }
 
 std::string ToString(const ObjectEvent& e) {
-  return "(" + std::to_string(e.time) + ", " + e.tag.ToString() + ", loc " +
-         std::to_string(e.loc) + ", container " + e.container.ToString() + ")";
+  std::string out = "(";
+  out += std::to_string(e.time);
+  out += ", ";
+  out += e.tag.ToString();
+  out += ", loc ";
+  out += std::to_string(e.loc);
+  out += ", container ";
+  out += e.container.ToString();
+  out += ")";
+  return out;
 }
 
 }  // namespace rfid

@@ -1,0 +1,312 @@
+// Tests for tools/lint/rfid_lint.py, the repo-invariant linter.
+//
+// Each test writes a synthetic mini-tree (the same src/dist + src/obs
+// layout the linter expects) into a fresh temp directory, runs the
+// linter over it, and asserts that each rule fires exactly where the
+// planted defect is -- and nowhere else. A final test runs the linter
+// over the live tree and requires it clean, so a defect introduced
+// alongside a broken lint rule cannot hide.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef RFID_SOURCE_DIR
+#error "lint_test requires RFID_SOURCE_DIR (set by CMakeLists.txt)"
+#endif
+
+std::string LinterPath() {
+  return std::string(RFID_SOURCE_DIR) + "/tools/lint/rfid_lint.py";
+}
+
+// Runs the linter over `root`; returns {exit_code, combined output}.
+std::pair<int, std::string> RunLinter(const fs::path& root) {
+  std::string cmd = "python3 '" + LinterPath() + "' --root '" +
+                    root.string() + "' 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) return {-1, ""};
+  std::string out;
+  char buf[512];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  int status = pclose(pipe);
+  int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return {code, out};
+}
+
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("rfid_lint_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void WriteFile(const std::string& rel, const std::string& content) {
+    fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << content;
+  }
+
+  // A minimal tree every rule accepts, so each test perturbs exactly one
+  // thing and asserts exactly one finding.
+  void WriteCleanTree() {
+    WriteFile("src/dist/frame.h",
+              "enum class MessageKind { kPing, kPong };\n"
+              "inline constexpr int kNumMessageKinds = 2;\n");
+    WriteFile("src/dist/frame.cc",
+              "switch (k) {\n"
+              "  case MessageKind::kPing: return \"ping\";\n"
+              "  case MessageKind::kPong: return \"pong\";\n"
+              "}\n");
+    WriteFile("src/dist/use.cc",
+              "void f() { Send(MessageKind::kPing); "
+              "Handle(MessageKind::kPong); }\n");
+    WriteFile("src/obs/telemetry.h",
+              "enum class Phase { kAlpha, kBeta };\n"
+              "inline constexpr int kNumPhases = 2;\n");
+    WriteFile("src/obs/telemetry.cc",
+              "switch (p) {\n"
+              "  case Phase::kAlpha: return \"alpha\";\n"
+              "  case Phase::kBeta: return \"beta\";\n"
+              "}\n");
+  }
+
+  fs::path root_;
+};
+
+TEST_F(LintTest, CleanTreePasses) {
+  WriteCleanTree();
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("rfid_lint: clean"), std::string::npos) << out;
+}
+
+TEST_F(LintTest, KindMissingToStringCase) {
+  WriteCleanTree();
+  WriteFile("src/dist/frame.cc",
+            "switch (k) {\n"
+            "  case MessageKind::kPing: return \"ping\";\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("[kind-coverage] MessageKind::kPong has no case"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(LintTest, KindNeverUsedOutsideFrame) {
+  WriteCleanTree();
+  WriteFile("src/dist/use.cc", "void f() { Send(MessageKind::kPing); }\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("MessageKind::kPong is never used"), std::string::npos)
+      << out;
+}
+
+TEST_F(LintTest, KindCountMismatch) {
+  WriteCleanTree();
+  WriteFile("src/dist/frame.h",
+            "enum class MessageKind { kPing, kPong };\n"
+            "inline constexpr int kNumMessageKinds = 3;\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("kNumMessageKinds is 3 but MessageKind has 2"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(LintTest, PhaseMissingName) {
+  WriteCleanTree();
+  WriteFile("src/obs/telemetry.cc",
+            "switch (p) {\n"
+            "  case Phase::kAlpha: return \"alpha\";\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("[phase-coverage] Phase::kBeta has no case"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(LintTest, BannedRandFires) {
+  WriteCleanTree();
+  WriteFile("src/dist/fates.cc",
+            "int f() { return rand(); }\n"
+            "int g() { std::random_device rd; return rd(); }\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("fates.cc:1: [determinism-rand]"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("fates.cc:2: [determinism-rand]"), std::string::npos)
+      << out;
+}
+
+TEST_F(LintTest, BannedWallClockFires) {
+  WriteCleanTree();
+  WriteFile("src/dist/clock.cc",
+            "auto now() { return std::chrono::system_clock::now(); }\n"
+            "long e() { return time(nullptr); }\n"
+            "// steady_clock stays legal for telemetry:\n"
+            "auto t() { return std::chrono::steady_clock::now(); }\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("clock.cc:1: [determinism-clock]"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("clock.cc:2: [determinism-clock]"), std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("clock.cc:4"), std::string::npos) << out;
+}
+
+TEST_F(LintTest, CommentedBannedTokenDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/dist/doc.cc",
+            "// Never call rand() here; fates are seeded.\n"
+            "int f() { return 4; }\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 0) << out;
+}
+
+TEST_F(LintTest, UnorderedIterationFires) {
+  WriteCleanTree();
+  WriteFile("src/dist/iter.cc",
+            "std::unordered_map<int, int> m_;\n"
+            "void f() {\n"
+            "  for (const auto& [k, v] : m_) { Send(k, v); }\n"
+            "}\n"
+            "void g() {\n"
+            "  for (auto it = m_.begin(); it != m_.end(); ++it) {}\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("iter.cc:3: [unordered-iter]"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("iter.cc:6: [unordered-iter]"), std::string::npos)
+      << out;
+}
+
+TEST_F(LintTest, SuppressionWithReasonSilencesUnorderedIteration) {
+  WriteCleanTree();
+  WriteFile("src/dist/iter.cc",
+            "std::unordered_map<int, int> m_;\n"
+            "void f() {\n"
+            "  // lint:allow(unordered-iter): keyed erase, order-free.\n"
+            "  for (const auto& [k, v] : m_) { m2_.erase(k); }\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 0) << out;
+}
+
+TEST_F(LintTest, MultiLineSuppressionCommentStillApplies) {
+  WriteCleanTree();
+  WriteFile("src/dist/iter.cc",
+            "std::unordered_map<int, int> m_;\n"
+            "void f() {\n"
+            "  // lint:allow(unordered-iter): keyed erase into another\n"
+            "  // map; the surviving set is order-independent.\n"
+            "  for (const auto& [k, v] : m_) { m2_.erase(k); }\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 0) << out;
+}
+
+TEST_F(LintTest, ReasonlessSuppressionIsItselfAFinding) {
+  WriteCleanTree();
+  WriteFile("src/dist/iter.cc",
+            "std::unordered_map<int, int> m_;\n"
+            "void f() {\n"
+            "  // lint:allow(unordered-iter)\n"
+            "  for (const auto& [k, v] : m_) { m2_.erase(k); }\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("suppression without a reason"), std::string::npos)
+      << out;
+}
+
+TEST_F(LintTest, WrongRuleSuppressionDoesNotApply) {
+  WriteCleanTree();
+  WriteFile("src/dist/iter.cc",
+            "std::unordered_map<int, int> m_;\n"
+            "void f() {\n"
+            "  // lint:allow(determinism-rand): not the right rule.\n"
+            "  for (const auto& [k, v] : m_) { Send(k, v); }\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("[unordered-iter]"), std::string::npos) << out;
+}
+
+TEST_F(LintTest, NanConventionFiresOnFakePerfectAccessor) {
+  WriteCleanTree();
+  WriteFile("src/metrics/acc.cc",
+            "double FooErrorPercent() {\n"
+            "  return 0.0;\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("acc.cc:1: [nan-convention] FooErrorPercent"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(LintTest, NanConventionAcceptsDirectNaN) {
+  WriteCleanTree();
+  WriteFile("src/metrics/acc.cc",
+            "double FooErrorPercent() {\n"
+            "  if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();\n"
+            "  return 100.0 * err_ / n_;\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 0) << out;
+}
+
+TEST_F(LintTest, NanConventionAcceptsDelegationToNanHelper) {
+  WriteCleanTree();
+  WriteFile("src/metrics/acc.cc",
+            "double Percentish() {\n"
+            "  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN()\n"
+            "                 : 100.0 * err_ / n_;\n"
+            "}\n"
+            "double FooErrorPercent() {\n"
+            "  return Percentish();\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 0) << out;
+}
+
+TEST_F(LintTest, NanConventionFollowsTransitiveDelegation) {
+  WriteCleanTree();
+  WriteFile("src/metrics/acc.cc",
+            "double Base() {\n"
+            "  return std::numeric_limits<double>::quiet_NaN();\n"
+            "}\n"
+            "double Middle() { return Base(); }\n"
+            "double FooErrorPercent() { return Middle(); }\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 0) << out;
+}
+
+// The linter must hold on the real tree: a regression in src/ or a broken
+// rule shows up here even if the rfid_lint ctest is skipped.
+TEST_F(LintTest, LiveTreeIsClean) {
+  auto [code, out] = RunLinter(RFID_SOURCE_DIR);
+  EXPECT_EQ(code, 0) << out;
+}
+
+}  // namespace

@@ -112,6 +112,22 @@ TEST(HistogramTest, BucketBoundaries) {
   EXPECT_EQ(Histogram::BucketOf(INT64_MAX), 63);
 }
 
+// Regression: BucketOf narrows std::bit_width's result to int. Pin the
+// invariant that makes the narrowing safe -- every representable sample
+// lands in [0, kNumBuckets), with one bucket per bit position.
+TEST(HistogramTest, BucketOfCoversEveryBitPosition) {
+  for (int bit = 0; bit < 63; ++bit) {
+    const int64_t v = int64_t{1} << bit;
+    const int b = Histogram::BucketOf(v);
+    EXPECT_EQ(b, bit + 1) << "value 1<<" << bit;
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, Histogram::kNumBuckets);
+    // The top value of the same bucket (next power of two minus one).
+    EXPECT_EQ(Histogram::BucketOf(v + (v - 1)), b) << "value 2^" << bit + 1
+                                                   << "-1";
+  }
+}
+
 TEST(HistogramTest, SnapshotCountsSumMinMax) {
   Histogram h;
   for (int64_t v : {5, 9, 100, 0, 7}) h.Record(v);
