@@ -1,11 +1,15 @@
 // google-benchmark microbenchmarks of the hot kernels: the EM engine on
 // planted worlds, the change-point scan, trace serialization, gzip (the
-// centralized baseline's compressor), pattern-matcher pushes, and the
-// centroid diff codec.
+// centralized baseline's compressor), pattern-matcher pushes, the
+// centroid diff codec, and the PR 9 hot-path kernels (arena alloc/reset,
+// the arena/SoA window index, zero-copy frame decode, span flush encode).
 #include <benchmark/benchmark.h>
 
+#include "common/arena.h"
 #include "common/compress.h"
 #include "common/rng.h"
+#include "dist/frame.h"
+#include "dist/site.h"
 #include "inference/rfinfer.h"
 #include "model/generative.h"
 #include "model/read_rate.h"
@@ -138,6 +142,107 @@ void BM_DiffEncodeApply(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DiffEncodeApply);
+
+// ---- PR 9 hot-path kernels ----
+
+// One window's worth of allocation through the bump arena, then Reset:
+// after the first iteration every block is retained, so steady state is
+// pure pointer arithmetic -- the contract the per-window index relies on.
+void BM_ArenaAllocReset(benchmark::State& state) {
+  const size_t chunks = static_cast<size_t>(state.range(0));
+  Arena arena;
+  for (auto _ : state) {
+    for (size_t i = 0; i < chunks; ++i) {
+      benchmark::DoNotOptimize(arena.AllocateArray<TagRead>(64));
+    }
+    arena.Reset();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(chunks * 64));
+}
+BENCHMARK(BM_ArenaAllocReset)->Arg(16)->Arg(256);
+
+// The window ingest kernel: append a window of readings, Seal (sort +
+// CSR index build + columns), sweep every per-tag history. Arg toggles
+// the arena/SoA machinery so the old per-tag-heap-vector cost stays
+// visible in the same binary.
+void BM_WindowIndexSeal(benchmark::State& state) {
+  const bool hot = state.range(0) != 0;
+  Trace source = PlantedTrace(16, 10, 600, 0.8, 47);
+  const std::vector<RawReading>& rs = source.readings();
+  Arena arena;
+  for (auto _ : state) {
+    Trace trace;
+    if (hot) trace.SetArena(&arena);
+    trace.EnableColumns(hot);
+    trace.Append(rs.data(), rs.size());
+    trace.Seal();
+    size_t total = 0;
+    for (TagId tag : trace.Tags()) total += trace.HistoryOf(tag).size();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rs.size()));
+}
+BENCHMARK(BM_WindowIndexSeal)->Arg(0)->Arg(1);
+
+// Frame decode, owning vs zero-copy view: the difference is the payload
+// copy the socket pump no longer pays per frame.
+void BM_FrameDecode(benchmark::State& state) {
+  Frame frame;
+  frame.from = 3;
+  frame.to = 0;
+  frame.kind = MessageKind::kRawReadings;
+  frame.send_epoch = 300;
+  frame.seq = 7;
+  frame.payload.assign(4096, 0xAB);
+  const std::vector<uint8_t> wire = EncodeFrameToBytes(frame);
+  for (auto _ : state) {
+    Frame out;
+    size_t consumed = 0;
+    RFID_CHECK_OK(DecodeFrame(wire.data(), wire.size(), &out, &consumed));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_FrameDecode);
+
+void BM_FrameViewDecode(benchmark::State& state) {
+  Frame frame;
+  frame.from = 3;
+  frame.to = 0;
+  frame.kind = MessageKind::kRawReadings;
+  frame.send_epoch = 300;
+  frame.seq = 7;
+  frame.payload.assign(4096, 0xAB);
+  const std::vector<uint8_t> wire = EncodeFrameToBytes(frame);
+  for (auto _ : state) {
+    FrameView view;
+    size_t consumed = 0;
+    RFID_CHECK_OK(
+        DecodeFrameView(wire.data(), wire.size(), &view, &consumed));
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_FrameViewDecode);
+
+// The centralized boundary flush's per-site unit of work (what the
+// pipelined flush overlaps with server compute): delta + gzip encode of
+// one pending span of readings.
+void BM_FlushEncode(benchmark::State& state) {
+  Trace source = PlantedTrace(16, 10, 600, 0.8, 48);
+  const std::vector<RawReading>& rs = source.readings();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EncodeReadingBatch(rs.data(), rs.size(), /*compress_level=*/6));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rs.size()));
+}
+BENCHMARK(BM_FlushEncode);
 
 }  // namespace
 }  // namespace rfid

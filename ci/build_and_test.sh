@@ -110,6 +110,29 @@ print("fault sweep: %d rows + crash scenario (err=%.2f%%) -- OK"
       % (len(sweep), crash["containment_error_percent"]))
 EOF
 
+echo "==> Bench orchestrator: quick epoch-rate protocol + schema + regression"
+# Warmup + repeat-3-take-median over bench_epoch_rate via the orchestrator
+# (the same entry point developers use), compared against the tracked
+# baseline in bench/results/ -- a >10% rate drop prints a WARNING, never a
+# failure: CI boxes differ. Nothing is recorded from CI; tracked results
+# are written deliberately, per PR. The re-validation below is
+# independent of the orchestrator's own schema check, and additionally
+# requires every hot-path configuration to have replayed bit-identically
+# to the all-off baseline (matches_baseline).
+python3 tools/bench/run_benchmarks.py --quick --bench epoch_rate --no-record
+python3 - <<'EOF'
+import json
+report = json.load(open("build/BENCH_epoch_rate.json"))
+assert report["report_version"] == 1
+assert report["bench"] == "epoch_rate"
+rows = report["rows"]["epoch_rate"]
+assert rows, "epoch-rate bench produced no rows"
+for row in rows:
+    assert row["epochs_per_sec"] > 0, row
+    assert row["matches_baseline"], f"nondeterministic hot path: {row}"
+print("epoch-rate: %d rows, all bit-identical to baseline -- OK" % len(rows))
+EOF
+
 if [[ "${SKIP_SANITIZE}" == "1" ]]; then
   echo "==> Skipping sanitizer pass (--skip-sanitize)"
   exit 0

@@ -19,7 +19,7 @@ int64_t CyclesIn(const InterrogationSchedule& schedule, Epoch from, Epoch to) {
 
 }  // namespace
 
-SmoothedTrack SmurfSmooth(const std::vector<TagRead>& history,
+SmoothedTrack SmurfSmooth(TagReadSpan history,
                           const InterrogationSchedule& schedule, Epoch begin,
                           Epoch end, const SmurfOptions& options) {
   SmoothedTrack track;

@@ -55,7 +55,7 @@ struct SmoothedTrack {
 /// absent when the window holds no readings. The window grows toward the
 /// completeness size derived from the observed read rate and shrinks on a
 /// detected transition.
-SmoothedTrack SmurfSmooth(const std::vector<TagRead>& history,
+SmoothedTrack SmurfSmooth(TagReadSpan history,
                           const InterrogationSchedule& schedule, Epoch begin,
                           Epoch end, const SmurfOptions& options = {});
 

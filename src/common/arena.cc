@@ -1,0 +1,70 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace rfid {
+
+Arena::Arena(size_t min_block_bytes)
+    : min_block_bytes_(std::max<size_t>(min_block_bytes, 64)) {}
+
+void* Arena::AllocateSlow(size_t bytes, size_t align) {
+  // A request that cannot fit even in a fresh block of the next geometric
+  // size gets its own dedicated block, released at the next Reset so one
+  // huge window cannot pin memory forever.
+  const size_t next_size =
+      blocks_.empty() ? min_block_bytes_
+                      : std::max(min_block_bytes_, blocks_.back().size * 2);
+  if (bytes + align > next_size) {
+    Block b{std::make_unique<uint8_t[]>(bytes + align), bytes + align};
+    const uintptr_t base = reinterpret_cast<uintptr_t>(b.data.get());
+    const uintptr_t aligned = (base + (align - 1)) & ~uintptr_t{align - 1};
+    large_.push_back(std::move(b));
+    bytes_allocated_ += bytes;
+    return reinterpret_cast<void*>(aligned);
+  }
+  // Advance through retained blocks before growing. Blocks are tried in
+  // order; a block too small for this request is skipped (its remainder is
+  // wasted, bounded by geometric growth).
+  while (current_ + 1 < blocks_.size()) {
+    ++current_;
+    head_ = blocks_[current_].data.get();
+    end_ = head_ + blocks_[current_].size;
+    const uintptr_t head = reinterpret_cast<uintptr_t>(head_);
+    const uintptr_t aligned = (head + (align - 1)) & ~uintptr_t{align - 1};
+    if (aligned + bytes <= reinterpret_cast<uintptr_t>(end_)) {
+      head_ = reinterpret_cast<uint8_t*>(aligned + bytes);
+      bytes_allocated_ += bytes;
+      return reinterpret_cast<void*>(aligned);
+    }
+  }
+  blocks_.push_back(Block{std::make_unique<uint8_t[]>(next_size), next_size});
+  current_ = blocks_.size() - 1;
+  head_ = blocks_[current_].data.get();
+  end_ = head_ + blocks_[current_].size;
+  const uintptr_t head = reinterpret_cast<uintptr_t>(head_);
+  const uintptr_t aligned = (head + (align - 1)) & ~uintptr_t{align - 1};
+  head_ = reinterpret_cast<uint8_t*>(aligned + bytes);
+  bytes_allocated_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::Reset() {
+  large_.clear();
+  current_ = 0;
+  if (blocks_.empty()) {
+    head_ = end_ = nullptr;
+  } else {
+    head_ = blocks_[0].data.get();
+    end_ = head_ + blocks_[0].size;
+  }
+  bytes_allocated_ = 0;
+}
+
+size_t Arena::bytes_reserved() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  for (const Block& b : large_) total += b.size;
+  return total;
+}
+
+}  // namespace rfid

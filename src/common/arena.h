@@ -1,0 +1,86 @@
+// Bump (arena) allocator for per-window scratch data on the replay hot
+// path: trace index arrays, observe-batch splits, decoded-frame staging.
+// Allocation is a pointer bump; Reset() rewinds the whole arena in O(large
+// blocks), so steady-state windows perform zero general-heap traffic.
+#ifndef RFID_COMMON_ARENA_H_
+#define RFID_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace rfid {
+
+/// A growable bump allocator. Normal requests are carved out of
+/// geometrically-growing blocks that are retained across Reset() (so a
+/// steady-state window cycle stops touching the heap after warmup);
+/// oversize requests get dedicated blocks that are released on Reset().
+///
+/// Lifetime rules: every pointer returned by Allocate/AllocateArray is
+/// valid until the next Reset() (or destruction). The arena never runs
+/// constructors or destructors -- only trivially-destructible element
+/// types may live in it. Not thread-safe.
+class Arena {
+ public:
+  static constexpr size_t kDefaultMinBlockBytes = size_t{64} << 10;
+
+  explicit Arena(size_t min_block_bytes = kDefaultMinBlockBytes);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage aligned to `align` (a power
+  /// of two). Never returns nullptr; zero-byte requests yield a valid,
+  /// aligned pointer.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    const uintptr_t head = reinterpret_cast<uintptr_t>(head_);
+    const uintptr_t aligned = (head + (align - 1)) & ~uintptr_t{align - 1};
+    if (head_ != nullptr && aligned >= head &&
+        aligned + bytes <= reinterpret_cast<uintptr_t>(end_)) {
+      head_ = reinterpret_cast<uint8_t*>(aligned + bytes);
+      bytes_allocated_ += bytes;
+      return reinterpret_cast<void*>(aligned);
+    }
+    return AllocateSlow(bytes, align);
+  }
+
+  /// Uninitialized storage for `n` elements of trivial type T.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds all bump pointers and releases dedicated oversize blocks.
+  /// Invalidates every pointer previously returned; retains (and reuses)
+  /// all normal blocks.
+  void Reset();
+
+  /// Bytes handed out since the last Reset (excludes alignment padding).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total block capacity currently held, retained and oversize.
+  size_t bytes_reserved() const;
+  size_t block_count() const { return blocks_.size() + large_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
+  void* AllocateSlow(size_t bytes, size_t align);
+
+  size_t min_block_bytes_;
+  std::vector<Block> blocks_;  ///< retained across Reset, geometric sizes
+  std::vector<Block> large_;   ///< one-request blocks, freed by Reset
+  size_t current_ = 0;         ///< active index into blocks_
+  uint8_t* head_ = nullptr;
+  uint8_t* end_ = nullptr;
+  size_t bytes_allocated_ = 0;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_ARENA_H_

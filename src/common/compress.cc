@@ -28,14 +28,18 @@ Status Compress(const std::vector<uint8_t>& input, std::vector<uint8_t>* out,
 
 Status Decompress(const std::vector<uint8_t>& input,
                   std::vector<uint8_t>* out) {
+  return Decompress(input.data(), input.size(), out);
+}
+
+Status Decompress(const uint8_t* data, size_t size,
+                  std::vector<uint8_t>* out) {
   // Grow the output buffer geometrically until inflate succeeds.
-  uLongf dest_len =
-      static_cast<uLongf>(std::max<size_t>(input.size() * 4, 64));
+  uLongf dest_len = static_cast<uLongf>(std::max<size_t>(size * 4, 64));
   for (int attempt = 0; attempt < 16; ++attempt) {
     out->resize(dest_len);
     uLongf actual = dest_len;
-    int rc = uncompress(out->data(), &actual, input.data(),
-                        static_cast<uLong>(input.size()));
+    int rc = uncompress(out->data(), &actual, data,
+                        static_cast<uLong>(size));
     if (rc == Z_OK) {
       out->resize(actual);
       return Status::OK();

@@ -21,6 +21,10 @@ Status Compress(const std::vector<uint8_t>& input, std::vector<uint8_t>* out,
 Status Decompress(const std::vector<uint8_t>& input,
                   std::vector<uint8_t>* out);
 
+/// Span form: inflates `size` bytes at `data` without requiring the caller
+/// to copy a payload tail into its own vector first.
+Status Decompress(const uint8_t* data, size_t size, std::vector<uint8_t>* out);
+
 }  // namespace rfid
 
 #endif  // RFID_COMMON_COMPRESS_H_

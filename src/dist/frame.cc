@@ -79,8 +79,8 @@ std::vector<uint8_t> EncodeFrameToBytes(const Frame& frame) {
   return out;
 }
 
-Status DecodeFrame(const uint8_t* data, size_t size, Frame* out,
-                   size_t* consumed) {
+Status DecodeFrameView(const uint8_t* data, size_t size, FrameView* out,
+                       size_t* consumed) {
   *consumed = 0;
   if (size < kFrameHeaderBytes) {
     return Status::ResourceExhausted("frame header incomplete");
@@ -120,9 +120,17 @@ Status DecodeFrame(const uint8_t* data, size_t size, Frame* out,
   out->send_epoch = static_cast<Epoch>(ReadU64(data + 14));
   out->seq = ReadU64(data + 22);
   out->link_seq = ReadU64(data + 30);
-  out->payload.assign(data + kFrameHeaderBytes,
-                      data + kFrameHeaderBytes + payload_len);
+  out->payload = data + kFrameHeaderBytes;
+  out->payload_len = payload_len;
   *consumed = wire;
+  return Status::OK();
+}
+
+Status DecodeFrame(const uint8_t* data, size_t size, Frame* out,
+                   size_t* consumed) {
+  FrameView view;
+  RFID_RETURN_NOT_OK(DecodeFrameView(data, size, &view, consumed));
+  *out = view.ToFrame();
   return Status::OK();
 }
 

@@ -99,6 +99,36 @@ void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out);
 /// Convenience: the framed encoding alone.
 std::vector<uint8_t> EncodeFrameToBytes(const Frame& frame);
 
+/// Non-owning decode result: header fields plus a span over the payload
+/// bytes *inside the caller's buffer*. Valid only while that buffer is
+/// alive and unmodified -- transports decode a view per frame, then
+/// materialize (ToFrame) only the frames they must queue, skipping the
+/// payload copy into an intermediate decode buffer. The CRC has already
+/// been verified over the viewed bytes.
+struct FrameView {
+  SiteId from = kNoSite;
+  SiteId to = kNoSite;
+  MessageKind kind = MessageKind::kRawReadings;
+  Epoch send_epoch = 0;
+  uint64_t seq = 0;
+  uint64_t link_seq = 0;
+  const uint8_t* payload = nullptr;
+  uint32_t payload_len = 0;
+
+  /// Materializes an owning Frame (copies the payload once).
+  Frame ToFrame() const {
+    Frame f;
+    f.from = from;
+    f.to = to;
+    f.kind = kind;
+    f.send_epoch = send_epoch;
+    f.seq = seq;
+    f.link_seq = link_seq;
+    f.payload.assign(payload, payload + payload_len);
+    return f;
+  }
+};
+
 /// Decodes one frame from the front of [data, data+size).
 ///
 /// Returns OK with `*consumed` = the frame's wire size when a complete,
@@ -115,6 +145,12 @@ std::vector<uint8_t> EncodeFrameToBytes(const Frame& frame);
 ///     decoding at the next frame boundary.
 Status DecodeFrame(const uint8_t* data, size_t size, Frame* out,
                    size_t* consumed);
+
+/// Zero-copy variant of DecodeFrame: identical validation, status, and
+/// `*consumed` semantics, but `out->payload` points into [data, data+size)
+/// instead of copying. DecodeFrame is implemented on top of this.
+Status DecodeFrameView(const uint8_t* data, size_t size, FrameView* out,
+                       size_t* consumed);
 
 /// True when `status` is DecodeFrame's "need more bytes" condition rather
 /// than a real error.

@@ -190,12 +190,39 @@ void Site::ObserveBatch(const RawReading* readings, size_t n) {
     pallet_streaming_->ObserveBatch(readings, n);
     return;
   }
-  std::vector<RawReading> upper;
-  upper.reserve(upper_count);
+  // Mixed batch: stage the non-item slice in the split arena (rewound per
+  // batch) instead of a heap vector.
+  // lint:hot-loop-begin(batch-split-rows)
+  RawReading* upper = split_arena_.AllocateArray<RawReading>(upper_count);
+  size_t m = 0;
   for (size_t i = 0; i < n; ++i) {
-    if (!readings[i].tag.is_item()) upper.push_back(readings[i]);
+    if (!readings[i].tag.is_item()) upper[m++] = readings[i];
   }
-  pallet_streaming_->ObserveBatch(upper.data(), upper.size());
+  // lint:hot-loop-end
+  pallet_streaming_->ObserveBatch(upper, m);
+  split_arena_.Reset();
+}
+
+void Site::ObserveBatch(const ReadingColumnsView& view) {
+  streaming_.ObserveBatch(view);
+  if (pallet_streaming_ == nullptr) return;
+  size_t upper_count = 0;
+  for (size_t i = 0; i < view.size; ++i) {
+    if (!view.tag[i].is_item()) ++upper_count;
+  }
+  if (upper_count == 0) return;
+  // The pallet level rebuilds row form for its own buffer either way, so
+  // the split materializes rows in the arena (even in the all-non-item
+  // case -- the column view has no row storage to forward).
+  // lint:hot-loop-begin(batch-split-columns)
+  RawReading* upper = split_arena_.AllocateArray<RawReading>(upper_count);
+  size_t m = 0;
+  for (size_t i = 0; i < view.size; ++i) {
+    if (!view.tag[i].is_item()) upper[m++] = view.Row(i);
+  }
+  // lint:hot-loop-end
+  pallet_streaming_->ObserveBatch(upper, m);
+  split_arena_.Reset();
 }
 
 bool Site::HasArrivalsDue(Epoch now) const {
@@ -439,14 +466,14 @@ void Site::HandleMessage(SiteId from, MessageKind kind,
       break;
     }
     case MessageKind::kRawReadings: {
-      // The centralized server ingests remote readings directly -- through
-      // Observe so the non-item slice also reaches the pallet-level
-      // engine when the hierarchy is on.
+      // The centralized server ingests remote readings in one batch --
+      // through ObserveBatch so the non-item slice also reaches the
+      // pallet-level engine when the hierarchy is on. Identical to the
+      // per-reading Observe loop: the history buffer re-sorts at Seal and
+      // the batch split selects the same non-item subset in order.
       Result<std::vector<RawReading>> batch = DecodeReadingBatch(payload);
       RFID_CHECK_OK(batch.status());
-      for (const RawReading& r : *batch) {
-        Observe(r);
-      }
+      ObserveBatch(batch->data(), batch->size());
       break;
     }
     case MessageKind::kDirectory:
@@ -520,11 +547,11 @@ Result<PendingArrival> DecodeInferenceEnvelope(
   BufferReader r(payload);
   uint64_t arrive = 0;
   RFID_RETURN_NOT_OK(r.GetVarint(&arrive));
-  std::vector<uint8_t> compressed(payload.begin() +
-                                      static_cast<long>(r.position()),
-                                  payload.end());
+  // The deflate stream and each inner batch decode straight from their
+  // slices -- no tail or per-batch copies.
   std::vector<uint8_t> raw;
-  RFID_RETURN_NOT_OK(Decompress(compressed, &raw));
+  RFID_RETURN_NOT_OK(Decompress(payload.data() + r.position(),
+                                payload.size() - r.position(), &raw));
   PendingArrival arrival;
   arrival.arrive = static_cast<Epoch>(arrive);
   BufferReader inner(raw);
@@ -534,11 +561,9 @@ Result<PendingArrival> DecodeInferenceEnvelope(
     if (len > inner.remaining()) {
       return Status::Corruption("truncated migration-state batch");
     }
-    std::vector<uint8_t> encoded(
-        raw.begin() + static_cast<long>(inner.position()),
-        raw.begin() + static_cast<long>(inner.position() + len));
+    const uint8_t* slice = raw.data() + inner.position();
     RFID_RETURN_NOT_OK(inner.Skip(len));
-    RFID_ASSIGN_OR_RETURN(*batch, DecodeMigrationStates(encoded));
+    RFID_ASSIGN_OR_RETURN(*batch, DecodeMigrationStates(slice, len));
   }
   return arrival;
 }
@@ -577,8 +602,13 @@ Result<PendingQueryState> DecodeQueryEnvelope(
 
 std::vector<uint8_t> EncodeReadingBatch(const std::vector<RawReading>& batch,
                                         int compress_level) {
+  return EncodeReadingBatch(batch.data(), batch.size(), compress_level);
+}
+
+std::vector<uint8_t> EncodeReadingBatch(const RawReading* batch, size_t n,
+                                        int compress_level) {
   Trace trace;
-  trace.Append(batch);
+  trace.Append(batch, n);
   trace.Seal();
   std::vector<uint8_t> compressed;
   RFID_CHECK_OK(Compress(EncodeTrace(trace), &compressed, compress_level));
@@ -590,7 +620,7 @@ Result<std::vector<RawReading>> DecodeReadingBatch(
   std::vector<uint8_t> raw;
   RFID_RETURN_NOT_OK(Decompress(payload, &raw));
   RFID_ASSIGN_OR_RETURN(Trace trace, DecodeTrace(raw));
-  return trace.readings();
+  return trace.TakeReadings();
 }
 
 }  // namespace rfid

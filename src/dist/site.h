@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "dist/network.h"
@@ -129,6 +130,9 @@ class Site {
   /// scheduling events instead of delivering one reading per epoch.
   void ObserveBatch(const RawReading* readings, size_t n);
 
+  /// Struct-of-arrays form of ObserveBatch (same contract and results).
+  void ObserveBatch(const ReadingColumnsView& view);
+
   /// Advances local time, running inference at period boundaries and
   /// feeding any attached queries with the newly inferred events (sensor
   /// samples interleaved in time order). Returns inference runs performed.
@@ -219,6 +223,10 @@ class Site {
   Network* network_;
   obs::Telemetry* telemetry_ = nullptr;
   SiteOptions options_;
+  /// Scratch for the per-batch non-item split feeding the pallet level;
+  /// rewound at the end of every ObserveBatch, so steady-state batches
+  /// allocate nothing.
+  Arena split_arena_;
   StreamingInference streaming_;
   /// Second inference level (pallet containers, case objects); null unless
   /// options_.hierarchical.
@@ -263,8 +271,12 @@ Result<PendingQueryState> DecodeQueryEnvelope(
     const std::vector<uint8_t>& payload);
 
 /// Raw-readings batch for the centralized baseline: the trace_io
-/// delta-varint encoding "with simple gzip compression" (Table 5).
+/// delta-varint encoding "with simple gzip compression" (Table 5). The
+/// span form encodes straight out of a larger buffer (e.g. a site trace
+/// slice) without an intermediate copy.
 std::vector<uint8_t> EncodeReadingBatch(const std::vector<RawReading>& batch,
+                                        int compress_level);
+std::vector<uint8_t> EncodeReadingBatch(const RawReading* batch, size_t n,
                                         int compress_level);
 Result<std::vector<RawReading>> DecodeReadingBatch(
     const std::vector<uint8_t>& payload);

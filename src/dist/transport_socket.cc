@@ -175,12 +175,61 @@ void SocketTransport::Pump(int site) {
     accepted_[static_cast<size_t>(site)].push_back(Conn{fd, {}});
   }
   // ...then read everything available and decode complete frames.
+  //
+  // Complete frames are decoded as zero-copy FrameViews straight out of
+  // whichever contiguous bytes hold them -- the fresh recv chunk when the
+  // connection has no carry-over, else the reassembly buffer -- and only
+  // the materialized frames and the trailing partial frame are copied.
+  // Steady-state traffic (whole frames per read) thus never touches
+  // conn.buf at all.
   uint8_t chunk[65536];
+  std::vector<Frame>& out = parsed_[static_cast<size_t>(site)];
+  // Drops a frame whose header parsed but whose checksum (or checksummed
+  // kind byte) did not: recoverable wire damage -- count it and skip to
+  // the next frame boundary. consumed == 0 means framing itself is gone
+  // (bad magic/version/length); that is a codec or transport bug, never
+  // recoverable input.
+  const auto drop_corrupt = [&](const Status& st, size_t consumed) {
+    RFID_CHECK_OK(consumed > 0 ? Status::OK() : st);
+    ++crc_drops_;
+    if (telemetry_ != nullptr) {
+      telemetry_->registry().GetCounter("transport/crc_drops")->Add(1);
+    }
+  };
+  // Decodes every complete frame in [data, data+size); returns the number
+  // of bytes consumed (the remainder is an incomplete tail).
+  const auto decode_all = [&](const uint8_t* data, size_t size) -> size_t {
+    size_t pos = 0;
+    while (pos < size) {
+      FrameView view;
+      size_t consumed = 0;
+      const Status st =
+          DecodeFrameView(data + pos, size - pos, &view, &consumed);
+      if (FrameIncomplete(st)) break;
+      if (!st.ok()) {
+        drop_corrupt(st, consumed);
+        pos += consumed;
+        continue;
+      }
+      pos += consumed;
+      out.push_back(view.ToFrame());
+    }
+    return pos;
+  };
   for (Conn& conn : accepted_[static_cast<size_t>(site)]) {
     while (true) {
       const ssize_t n = read(conn.fd, chunk, sizeof(chunk));
       if (n > 0) {
-        conn.buf.insert(conn.buf.end(), chunk, chunk + n);
+        if (conn.buf.empty()) {
+          // Fast path: decode in place from the recv chunk; buffer only
+          // the partial tail.
+          const size_t used = decode_all(chunk, static_cast<size_t>(n));
+          if (used < static_cast<size_t>(n)) {
+            conn.buf.insert(conn.buf.end(), chunk + used, chunk + n);
+          }
+        } else {
+          conn.buf.insert(conn.buf.end(), chunk, chunk + n);
+        }
         continue;
       }
       if (n == 0) break;  // peer closed; whole frames already buffered
@@ -188,33 +237,12 @@ void SocketTransport::Pump(int site) {
       if (errno == EINTR) continue;
       FatalErrno("read(frame)");
     }
-    size_t pos = 0;
-    while (pos < conn.buf.size()) {
-      Frame frame;
-      size_t consumed = 0;
-      const Status st = DecodeFrame(conn.buf.data() + pos,
-                                    conn.buf.size() - pos, &frame, &consumed);
-      if (FrameIncomplete(st)) break;
-      if (!st.ok()) {
-        // A checksum mismatch under a parseable header is recoverable
-        // wire damage: drop the frame, count it, skip to the next frame
-        // boundary, and keep the connection alive. consumed == 0 means
-        // framing itself is gone (bad magic/version/length) -- that is a
-        // codec or transport bug, never recoverable input.
-        RFID_CHECK_OK(consumed > 0 ? Status::OK() : st);
-        ++crc_drops_;
-        if (telemetry_ != nullptr) {
-          telemetry_->registry().GetCounter("transport/crc_drops")->Add(1);
-        }
-        pos += consumed;
-        continue;
+    if (!conn.buf.empty()) {
+      const size_t pos = decode_all(conn.buf.data(), conn.buf.size());
+      if (pos > 0) {
+        conn.buf.erase(conn.buf.begin(),
+                       conn.buf.begin() + static_cast<long>(pos));
       }
-      pos += consumed;
-      parsed_[static_cast<size_t>(site)].push_back(std::move(frame));
-    }
-    if (pos > 0) {
-      conn.buf.erase(conn.buf.begin(),
-                     conn.buf.begin() + static_cast<long>(pos));
     }
   }
 }

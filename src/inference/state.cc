@@ -43,7 +43,12 @@ std::vector<uint8_t> EncodeMigrationStates(
 
 Result<std::vector<ObjectMigrationState>> DecodeMigrationStates(
     const std::vector<uint8_t>& bytes) {
-  BufferReader reader(bytes);
+  return DecodeMigrationStates(bytes.data(), bytes.size());
+}
+
+Result<std::vector<ObjectMigrationState>> DecodeMigrationStates(
+    const uint8_t* data, size_t size) {
+  BufferReader reader(data, size);
   uint32_t magic;
   RFID_RETURN_NOT_OK(reader.GetU32(&magic));
   if (magic != kStateMagic) {

@@ -43,6 +43,9 @@ std::vector<uint8_t> EncodeMigrationStates(
     const std::vector<ObjectMigrationState>& states);
 Result<std::vector<ObjectMigrationState>> DecodeMigrationStates(
     const std::vector<uint8_t>& bytes);
+/// Span form: decodes in place from a slice of a larger envelope.
+Result<std::vector<ObjectMigrationState>> DecodeMigrationStates(
+    const uint8_t* data, size_t size);
 
 }  // namespace rfid
 

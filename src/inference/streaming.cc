@@ -12,6 +12,8 @@ StreamingInference::StreamingInference(const ReadRateModel* model,
     : model_(model), schedule_(schedule), options_(options) {
   engine_ = std::make_unique<RFInfer>(model_, schedule_, options_.inference);
   next_run_ = options_.inference_period;
+  if (options_.arena_index) buffer_.SetArena(&window_arena_);
+  buffer_.EnableColumns(options_.soa_columns);
 }
 
 void StreamingInference::SetUniverse(std::vector<TagId> containers,
@@ -36,6 +38,10 @@ void StreamingInference::Observe(const RawReading& reading) {
 
 void StreamingInference::ObserveBatch(const RawReading* readings, size_t n) {
   buffer_.Append(readings, n);
+}
+
+void StreamingInference::ObserveBatch(const ReadingColumnsView& view) {
+  buffer_.Append(view);
 }
 
 int StreamingInference::AdvanceTo(Epoch now) {
@@ -197,24 +203,17 @@ void StreamingInference::CompactBuffer(Epoch next_window_begin) {
       keep[container].push_back(*ctx.critical_region);
     }
   }
-  Trace compacted;
-  for (const RawReading& r : buffer_.readings()) {
-    bool retain = r.time >= next_window_begin;
-    if (!retain) {
-      auto it = keep.find(r.tag);
-      if (it != keep.end()) {
-        for (const EpochInterval& iv : it->second) {
-          if (iv.Contains(r.time)) {
-            retain = true;
-            break;
-          }
-        }
-      }
+  // In place so the buffer keeps its arena binding and columns setting;
+  // the trace is resealed (and the index rebuilt) at the next run.
+  buffer_.RetainIf([&](const RawReading& r) {
+    if (r.time >= next_window_begin) return true;
+    auto it = keep.find(r.tag);
+    if (it == keep.end()) return false;
+    for (const EpochInterval& iv : it->second) {
+      if (iv.Contains(r.time)) return true;
     }
-    if (retain) compacted.Add(r);
-  }
-  compacted.Seal();
-  buffer_ = std::move(compacted);
+    return false;
+  });
 }
 
 TagId StreamingInference::ContainerOf(TagId object) const {

@@ -32,6 +32,8 @@ const char* PhaseName(Phase phase) {
       return "kernel_read";
     case Phase::kCrashRecovery:
       return "crash_recovery";
+    case Phase::kFlushOverlap:
+      return "flush_overlap";
   }
   return "unknown";
 }

@@ -45,9 +45,13 @@ enum class Phase : uint8_t {
   kKernelRead,        ///< socket backend: accept/read/decode pump
   // Fault-tolerance phases (kDriverTrack; appended to keep values stable).
   kCrashRecovery,     ///< rebuild of a crashed site from its raw trace
+  // Pipelined-flush overlap (appended to keep values stable). Runs on a
+  // per-site track: the flush encode of a remote site's batch overlapping
+  // the server's window compute on the executor.
+  kFlushOverlap,      ///< centralized: batch encode overlapped on workers
 };
 
-inline constexpr int kNumPhases = 12;
+inline constexpr int kNumPhases = 13;
 
 /// Stable lowercase name ("window_compute"); the registry key is
 /// "phase/" + PhaseName.

@@ -66,6 +66,48 @@ struct TagRead {
   }
 };
 
+/// Non-owning view of one tag's time-ordered history inside a sealed
+/// trace's flat index. Valid until the owning trace is resealed,
+/// compacted, or destroyed.
+class TagReadSpan {
+ public:
+  constexpr TagReadSpan() = default;
+  constexpr TagReadSpan(const TagRead* data, size_t size)
+      : data_(data), size_(size) {}
+  // Implicit on purpose: lets vector-holding callers (tests, baselines)
+  // pass straight into span-taking APIs.
+  TagReadSpan(const std::vector<TagRead>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+
+  constexpr const TagRead* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const TagRead* begin() const { return data_; }
+  constexpr const TagRead* end() const { return data_ + size_; }
+  constexpr const TagRead& operator[](size_t i) const { return data_[i]; }
+  constexpr const TagRead& front() const { return data_[0]; }
+  constexpr const TagRead& back() const { return data_[size_ - 1]; }
+
+ private:
+  const TagRead* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Struct-of-arrays view over a sealed trace's readings: three parallel
+/// columns in canonical (time, reader, tag) order, so inner inference
+/// scans run over contiguous same-typed memory. Row i of the trace is
+/// (time[i], tag[i], reader[i]). Non-owning; valid until the trace is
+/// resealed, mutated, or destroyed.
+struct ReadingColumnsView {
+  const Epoch* time = nullptr;
+  const TagId* tag = nullptr;
+  const LocationId* reader = nullptr;
+  size_t size = 0;
+
+  bool empty() const { return size == 0; }
+  RawReading Row(size_t i) const { return RawReading{time[i], tag[i], reader[i]}; }
+};
+
 std::string ToString(const RawReading& r);
 std::string ToString(const ObjectEvent& e);
 

@@ -16,6 +16,8 @@
 #include "dist/site.h"
 #include "sim/sensors.h"
 #include "sim/supply_chain.h"
+#include "trace/reading.h"
+#include "trace/trace.h"
 
 namespace rfid {
 namespace {
@@ -634,6 +636,75 @@ TEST(DistributedTest, LinkLatencyKeepsWireBytesInvariant) {
   // much.
   EXPECT_GE(delayed.network().in_flight_messages(),
             instant.network().in_flight_messages());
+}
+
+// ---- Reading-batch codec + SoA column view (the PR 9 hot path) ----
+
+std::vector<RawReading> SampleBatch() {
+  std::vector<RawReading> rs;
+  for (int t = 0; t < 50; ++t) {
+    rs.push_back(RawReading{static_cast<Epoch>(t * 3),
+                            TagId::Item(static_cast<uint64_t>(t % 7)),
+                            static_cast<LocationId>(t % 5)});
+    rs.push_back(RawReading{static_cast<Epoch>(t * 3 + 1),
+                            TagId::Case(static_cast<uint64_t>(t % 3)),
+                            static_cast<LocationId>(t % 4)});
+  }
+  return rs;
+}
+
+TEST(ReadingBatchTest, SpanAndVectorFormsEncodeIdentically) {
+  const std::vector<RawReading> rs = SampleBatch();
+  EXPECT_EQ(EncodeReadingBatch(rs, /*compress_level=*/6),
+            EncodeReadingBatch(rs.data(), rs.size(), /*compress_level=*/6));
+  // A sub-span of a larger buffer (how the centralized flush encodes a
+  // pending trace range) matches encoding a copied-out window.
+  const std::vector<RawReading> window(rs.begin() + 10, rs.end() - 5);
+  EXPECT_EQ(EncodeReadingBatch(rs.data() + 10, rs.size() - 15, 6),
+            EncodeReadingBatch(window, 6));
+}
+
+TEST(ReadingBatchTest, RoundTripsInSealCanonicalOrder) {
+  std::vector<RawReading> rs = SampleBatch();
+  auto decoded = DecodeReadingBatch(EncodeReadingBatch(rs, 6));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  // The batch codec seals (sorts + dedups) before encoding, so the round
+  // trip lands in canonical (time, reader, tag) order.
+  std::sort(rs.begin(), rs.end(), RawReadingOrder());
+  rs.erase(std::unique(rs.begin(), rs.end()), rs.end());
+  EXPECT_EQ(decoded.value(), rs);
+}
+
+TEST(ReadingBatchTest, ColumnsViewMatchesRowIngest) {
+  const std::vector<RawReading> rs = SampleBatch();
+  std::vector<Epoch> time;
+  std::vector<TagId> tag;
+  std::vector<LocationId> reader;
+  for (const RawReading& r : rs) {
+    time.push_back(r.time);
+    tag.push_back(r.tag);
+    reader.push_back(r.reader);
+  }
+  const ReadingColumnsView view{time.data(), tag.data(), reader.data(),
+                                rs.size()};
+  for (size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(view.Row(i), rs[i]) << i;
+  }
+  // Column-view ingest and row ingest seal to the same readings and the
+  // same per-tag histories.
+  Trace by_rows;
+  Trace by_view;
+  by_rows.Append(rs.data(), rs.size());
+  by_view.Append(view);
+  by_rows.Seal();
+  by_view.Seal();
+  ASSERT_EQ(by_rows.readings(), by_view.readings());
+  for (TagId t : by_rows.Tags()) {
+    const TagReadSpan a = by_rows.HistoryOf(t);
+    const TagReadSpan b = by_view.HistoryOf(t);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
 }
 
 }  // namespace

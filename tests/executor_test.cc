@@ -362,5 +362,69 @@ TEST(DeterminismTest, TelemetryOnOffMatchesBitForBit) {
   std::remove(trace_path.c_str());
 }
 
+// PR 9 determinism matrix: the hot-path machinery -- the arena-backed
+// window index (StreamingOptions::arena_index), SoA columns
+// (soa_columns), and the pipelined centralized flush (pipeline_flush) --
+// must be pure optimization. Every toggle combination, alone and
+// together, across threads {0, 4} and both transports, in both
+// processing modes, must match the everything-off serial replay bit for
+// bit (alerts, accuracy samples, per-kind/per-link bytes, directory
+// counters, beliefs). CI additionally re-runs this binary with
+// RFID_TRANSPORT=socket and under ASan/TSan.
+TEST(DeterminismTest, HotPathTogglesMatchBitForBit) {
+  SupplyChainConfig cfg = DeterminismConfig();
+  SupplyChainSim sim(cfg);
+  sim.Run();
+  ASSERT_FALSE(sim.transfers().empty());
+
+  struct Toggles {
+    bool arena;
+    bool soa;
+    bool pipeline;
+    int threads;
+    TransportKind transport;
+  };
+  const std::vector<Toggles> matrix = {
+      {true, false, false, 0, TransportKind::kInProcess},
+      {false, true, false, 0, TransportKind::kInProcess},
+      {false, false, true, 0, TransportKind::kInProcess},
+      {true, true, true, 0, TransportKind::kInProcess},
+      {false, false, false, 4, TransportKind::kInProcess},
+      {true, true, true, 4, TransportKind::kInProcess},
+      {true, true, true, 0, TransportKind::kSocket},
+      {true, true, true, 4, TransportKind::kSocket},
+  };
+  for (ProcessingMode mode :
+       {ProcessingMode::kCentralized, ProcessingMode::kDistributed}) {
+    auto run = [&](const Toggles& tg) {
+      DistributedOptions opts = DeterminismOptions(tg.threads);
+      opts.mode = mode;
+      opts.transport = tg.transport;
+      opts.site.streaming.arena_index = tg.arena;
+      opts.site.streaming.soa_columns = tg.soa;
+      opts.pipeline_flush = tg.pipeline;
+      auto sys = std::make_unique<DistributedSystem>(&sim, opts);
+      sys->Run();
+      return sys;
+    };
+    const auto reference =
+        run({false, false, false, 0, TransportKind::kInProcess});
+    ASSERT_FALSE(reference->snapshots().empty());
+    if (mode == ProcessingMode::kCentralized) {
+      ASSERT_GT(reference->network().BytesOfKind(MessageKind::kRawReadings),
+                0);
+    }
+    for (const Toggles& tg : matrix) {
+      SCOPED_TRACE("mode=" + ToString(mode) +
+                   " arena=" + std::to_string(tg.arena) +
+                   " soa=" + std::to_string(tg.soa) +
+                   " pipeline=" + std::to_string(tg.pipeline) +
+                   " threads=" + std::to_string(tg.threads) +
+                   " transport=" + ToString(tg.transport));
+      ExpectBitIdentical(*reference, *run(tg), sim);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rfid

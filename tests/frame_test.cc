@@ -148,6 +148,59 @@ TEST(FrameTest, UnsupportedVersionIsFatal) {
   EXPECT_EQ(consumed, 0u);
 }
 
+// ---- FrameView: the zero-copy decode the transports use ----
+
+TEST(FrameViewTest, ViewMatchesOwningDecodeAndPointsIntoBuffer) {
+  for (const bool empty_payload : {false, true}) {
+    Frame f = SampleFrame();
+    if (empty_payload) f.payload.clear();
+    const std::vector<uint8_t> wire = EncodeFrameToBytes(f);
+    FrameView view;
+    size_t consumed = 0;
+    ASSERT_TRUE(
+        DecodeFrameView(wire.data(), wire.size(), &view, &consumed).ok());
+    EXPECT_EQ(consumed, wire.size());
+    // The payload span aliases the wire buffer: zero-copy by
+    // construction, not by measurement.
+    EXPECT_EQ(view.payload, wire.data() + kFrameHeaderBytes);
+    EXPECT_EQ(view.payload_len, f.payload.size());
+    EXPECT_EQ(view.ToFrame(), f);
+  }
+}
+
+TEST(FrameViewTest, StatusAndConsumedMatchOwningDecodeExhaustively) {
+  // DecodeFrame is documented as DecodeFrameView + ToFrame; prove the
+  // contract holds on every truncation and every single-byte flip, so
+  // the socket pump's switch to views cannot have changed what gets
+  // dropped, resynced, or aborted on.
+  const std::vector<uint8_t> wire = EncodeFrameToBytes(SampleFrame());
+  for (size_t len = 0; len <= wire.size(); ++len) {
+    Frame owned;
+    FrameView view;
+    size_t consumed_f = 0;
+    size_t consumed_v = 0;
+    const Status sf = DecodeFrame(wire.data(), len, &owned, &consumed_f);
+    const Status sv =
+        DecodeFrameView(wire.data(), len, &view, &consumed_v);
+    EXPECT_EQ(sf.code(), sv.code()) << "prefix " << len;
+    EXPECT_EQ(consumed_f, consumed_v) << "prefix " << len;
+  }
+  for (size_t i = 0; i < wire.size(); ++i) {
+    std::vector<uint8_t> bad = wire;
+    bad[i] ^= 0xff;
+    Frame owned;
+    FrameView view;
+    size_t consumed_f = 0;
+    size_t consumed_v = 0;
+    const Status sf =
+        DecodeFrame(bad.data(), bad.size(), &owned, &consumed_f);
+    const Status sv =
+        DecodeFrameView(bad.data(), bad.size(), &view, &consumed_v);
+    EXPECT_EQ(sf.code(), sv.code()) << "flipped byte " << i;
+    EXPECT_EQ(consumed_f, consumed_v) << "flipped byte " << i;
+  }
+}
+
 TEST(FrameTest, StreamingDecodeOfConcatenatedFrames) {
   Frame a = SampleFrame();
   Frame b = SampleFrame();

@@ -302,6 +302,86 @@ TEST_F(LintTest, NanConventionFollowsTransitiveDelegation) {
   EXPECT_EQ(code, 0) << out;
 }
 
+TEST_F(LintTest, HotLoopAllocFiresOnNewMakeUniqueAndUnreservedPush) {
+  WriteCleanTree();
+  WriteFile("src/trace/hot.cc",
+            "void f(std::vector<int>& out) {\n"
+            "  // lint:hot-loop-begin(scatter)\n"
+            "  for (int i = 0; i < n; ++i) {\n"
+            "    auto* p = new Node(i);\n"
+            "    auto q = std::make_unique<Node>(i);\n"
+            "    out.push_back(i);\n"
+            "  }\n"
+            "  // lint:hot-loop-end\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("hot.cc:4: [hot-loop-alloc]"), std::string::npos) << out;
+  EXPECT_NE(out.find("hot.cc:5: [hot-loop-alloc]"), std::string::npos) << out;
+  EXPECT_NE(out.find("push into 'out' with no preceding reserve"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("inside hot loop 'scatter'"), std::string::npos) << out;
+}
+
+TEST_F(LintTest, HotLoopPushAfterReserveIsClean) {
+  WriteCleanTree();
+  WriteFile("src/trace/hot.cc",
+            "void f(std::vector<int>& out) {\n"
+            "  out.reserve(n);\n"
+            "  // lint:hot-loop-begin(scatter)\n"
+            "  for (int i = 0; i < n; ++i) out.push_back(i);\n"
+            "  // lint:hot-loop-end\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 0) << out;
+}
+
+TEST_F(LintTest, AllocationOutsideMarkedRegionIsIgnored) {
+  WriteCleanTree();
+  WriteFile("src/trace/cold.cc",
+            "void f(std::vector<int>& out) {\n"
+            "  out.push_back(1);\n"
+            "  auto* p = new Node(0);\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 0) << out;
+}
+
+TEST_F(LintTest, HotLoopAllowWithReasonSilences) {
+  WriteCleanTree();
+  WriteFile("src/trace/hot.cc",
+            "void f(std::vector<int>& run) {\n"
+            "  // lint:hot-loop-begin(count)\n"
+            "  for (int i = 0; i < n; ++i) {\n"
+            "    // lint:allow(hot-loop-alloc): reused; steady-state cap.\n"
+            "    run.push_back(i);\n"
+            "  }\n"
+            "  // lint:hot-loop-end\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 0) << out;
+}
+
+TEST_F(LintTest, UnbalancedHotLoopMarkersAreFindings) {
+  WriteCleanTree();
+  WriteFile("src/trace/open.cc",
+            "// lint:hot-loop-begin(never-closed)\n"
+            "void f() {}\n");
+  WriteFile("src/trace/stray.cc",
+            "void g() {}\n"
+            "// lint:hot-loop-end\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("open.cc:1: [hot-loop-alloc] "
+                     "hot-loop-begin(never-closed) is never closed"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("stray.cc:2: [hot-loop-alloc] hot-loop-end without"),
+            std::string::npos)
+      << out;
+}
+
 // The linter must hold on the real tree: a regression in src/ or a broken
 // rule shows up here even if the rfid_lint ctest is skipped.
 TEST_F(LintTest, LiveTreeIsClean) {

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <limits>
 #include <string>
+#include <utility>
 
 #include "common/serde.h"
 #include "trace/ground_truth.h"
@@ -261,6 +262,87 @@ TEST(ReadingTest, ToStringFormats) {
             "(3, item:1, reader 2)");
   EXPECT_EQ(ToString(ObjectEvent{3, TagId::Item(1), 2, TagId::Case(4)}),
             "(3, item:1, loc 2, container case:4)");
+}
+
+// ---- Arena-backed CSR index + SoA columns (the PR 9 window layout) ----
+
+Trace ScrambledTrace(int tags, int epochs) {
+  Trace t;
+  for (int e = epochs - 1; e >= 0; --e) {
+    for (int i = 0; i < tags; ++i) {
+      if ((e + i) % 3 == 0) continue;  // sparse histories
+      t.Add(RawReading{static_cast<Epoch>(e),
+                       TagId::Item(static_cast<uint64_t>(i)),
+                       static_cast<LocationId>(i % 4)});
+    }
+  }
+  return t;
+}
+
+void ExpectSameIndex(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.Tags(), b.Tags());
+  for (TagId tag : a.Tags()) {
+    const TagReadSpan ha = a.HistoryOf(tag);
+    const TagReadSpan hb = b.HistoryOf(tag);
+    ASSERT_EQ(ha.size(), hb.size());
+    for (size_t i = 0; i < ha.size(); ++i) EXPECT_EQ(ha[i], hb[i]);
+  }
+}
+
+TEST(TraceArenaTest, ArenaIndexMatchesHeapIndex) {
+  Trace heap = ScrambledTrace(12, 50);
+  Trace arena_backed = heap;
+  Arena arena;
+  arena_backed.SetArena(&arena);
+  arena_backed.EnableColumns(true);
+  heap.Seal();
+  arena_backed.Seal();
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(heap.readings(), arena_backed.readings());
+  ExpectSameIndex(heap, arena_backed);
+  // Columns mirror the canonical rows exactly.
+  ASSERT_TRUE(arena_backed.has_columns());
+  const ReadingColumnsView cols = arena_backed.columns();
+  ASSERT_EQ(cols.size, arena_backed.size());
+  for (size_t i = 0; i < cols.size; ++i) {
+    EXPECT_EQ(cols.Row(i), arena_backed.readings()[i]) << i;
+  }
+  // Reseal after more readings: the arena is rewound and reused, and the
+  // rebuilt index still matches a heap-indexed twin.
+  const RawReading extra{999, TagId::Item(3), 2};
+  heap.Add(extra);
+  arena_backed.Add(extra);
+  heap.Seal();
+  arena_backed.Seal();
+  ExpectSameIndex(heap, arena_backed);
+}
+
+TEST(TraceArenaTest, CopyDoesNotShareTheArena) {
+  Arena arena;
+  Trace original = ScrambledTrace(8, 30);
+  original.SetArena(&arena);
+  original.Seal();
+  const Trace copy = original;  // re-derives its index off-arena
+  ExpectSameIndex(original, copy);
+  // Resealing the original rewinds the arena; the copy's index must
+  // survive that (it owns its backing storage).
+  original.Add(RawReading{500, TagId::Item(0), 1});
+  original.Seal();
+  const TagReadSpan h = copy.HistoryOf(TagId::Item(0));
+  ASSERT_FALSE(h.empty());
+  EXPECT_LT(h.back().time, 500);
+}
+
+TEST(TraceArenaTest, MoveTransfersTheIndexIntact) {
+  Trace original = ScrambledTrace(8, 30);
+  original.EnableColumns(true);
+  original.Seal();
+  const Trace reference = original;
+  const Trace moved = std::move(original);
+  EXPECT_TRUE(moved.sealed());
+  ExpectSameIndex(reference, moved);
+  ASSERT_TRUE(moved.has_columns());
+  EXPECT_EQ(moved.columns().size, moved.size());
 }
 
 }  // namespace

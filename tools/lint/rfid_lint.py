@@ -48,6 +48,21 @@ Enforces domain rules no generic analyzer knows (registered as the
                      delegate to a *ErrorPercent overload that does). An
                      empty run is not a perfect one.
 
+  hot-loop-alloc     Inside regions bracketed by
+                     `// lint:hot-loop-begin(<name>)` ...
+                     `// lint:hot-loop-end` (the per-reading window
+                     loops: index scatter, batch split, co-location
+                     counting), no per-element heap allocation: no
+                     `new` / `make_unique` / `make_shared`, and no
+                     `push_back`/`emplace_back` into a container that
+                     was not `reserve`d earlier in the file. These loops
+                     run once per reading per window -- the arena/SoA
+                     hot path exists precisely so they don't allocate.
+                     Amortized-constant pushes (cleared-and-reused
+                     vectors at steady-state capacity) carry
+                     `// lint:allow(hot-loop-alloc): <reason>`.
+                     Unbalanced or nested markers are findings.
+
 Usage:
   rfid_lint.py --root <repo>         lint the tree (exit 1 on findings)
   rfid_lint.py --root <repo> --list  print the rule ids and exit
@@ -69,6 +84,7 @@ RULES = (
     "determinism-clock",
     "unordered-iter",
     "nan-convention",
+    "hot-loop-alloc",
 )
 
 ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)(:?\s*(\S.*)?)$")
@@ -414,6 +430,82 @@ def check_nan_convention(root, findings):
                             "NaN, not a fake-perfect value"))
 
 
+HOT_BEGIN = re.compile(r"lint:hot-loop-begin\(([\w-]+)\)")
+HOT_END = re.compile(r"lint:hot-loop-end\b")
+HOT_NEW = re.compile(r"(?<![\w:.>])new\s+[\w:(<]")
+HOT_MAKE = re.compile(r"\bmake_(?:unique|shared)\s*<")
+HOT_PUSH = re.compile(
+    r"\b(\w+)(?:\[[^\]]*\])?\s*(?:\.|->)\s*(?:push_back|emplace_back)\s*\(")
+
+
+def has_earlier_reserve(lines, idx, container):
+    """True when `container.reserve(` (or ->reserve) appears on a line
+    before idx -- the capacity was provisioned outside the hot loop."""
+    pat = re.compile(
+        r"\b" + re.escape(container) +
+        r"(?:\[[^\]]*\])?\s*(?:\.|->)\s*reserve\s*\(")
+    return any(pat.search(strip_comment(l)) for l in lines[:idx])
+
+
+def check_hot_loops(root, findings):
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        return
+    for dirpath, _, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            lines = read_lines(path)
+            region = None  # (name, 1-based begin line)
+            for idx, raw in enumerate(lines):
+                mb = HOT_BEGIN.search(raw)
+                if mb:
+                    if region is not None:
+                        findings.append(Finding(
+                            path, idx + 1, "hot-loop-alloc",
+                            f"hot-loop-begin({mb.group(1)}) opens inside "
+                            f"unclosed region '{region[0]}' (line "
+                            f"{region[1]}); regions do not nest"))
+                    region = (mb.group(1), idx + 1)
+                    continue
+                if HOT_END.search(raw):
+                    if region is None:
+                        findings.append(Finding(
+                            path, idx + 1, "hot-loop-alloc",
+                            "hot-loop-end without a matching "
+                            "hot-loop-begin"))
+                    region = None
+                    continue
+                if region is None:
+                    continue
+                line = strip_comment(raw)
+                hits = []
+                if HOT_NEW.search(line) or HOT_MAKE.search(line):
+                    hits.append("per-element heap allocation")
+                m = HOT_PUSH.search(line)
+                if m and not has_earlier_reserve(lines, idx, m.group(1)):
+                    hits.append(f"push into '{m.group(1)}' with no "
+                                "preceding reserve")
+                for what in hits:
+                    ok, extra = allowed(lines, idx, "hot-loop-alloc")
+                    if extra:
+                        findings.append(Finding(
+                            path, extra[0], "hot-loop-alloc", extra[1]))
+                    if not ok:
+                        findings.append(Finding(
+                            path, idx + 1, "hot-loop-alloc",
+                            f"{what} inside hot loop '{region[0]}': "
+                            "this runs once per reading per window -- "
+                            "provision up front (arena / reserve) or "
+                            "suppress with a reason if amortized"))
+            if region is not None:
+                findings.append(Finding(
+                    path, region[1], "hot-loop-alloc",
+                    f"hot-loop-begin({region[0]}) is never closed; add "
+                    "// lint:hot-loop-end"))
+
+
 def main(argv):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--root", required=True, help="repository root")
@@ -432,6 +524,7 @@ def main(argv):
     check_enum_coverage(root, findings)
     check_determinism(root, findings)
     check_nan_convention(root, findings)
+    check_hot_loops(root, findings)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     for f in findings:
