@@ -20,6 +20,8 @@
 // bench/results/.
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -52,12 +54,15 @@ struct Config {
   bool arena = true;
   bool soa = true;
   bool pipeline = true;
+  bool durable = false;
 };
 
 struct RunResult {
   double seconds = 0.0;
   int64_t total_bytes = 0;
   double avg_error = 0.0;
+  int64_t wal_bytes = 0;
+  int64_t wal_fsyncs = 0;
 };
 
 RunResult RunOnce(const SupplyChainSim& sim, const Config& cfg) {
@@ -74,6 +79,20 @@ RunResult RunOnce(const SupplyChainSim& sim, const Config& cfg) {
   // Timed rows run without telemetry so the numbers measure the replay,
   // not the instrumentation.
   opts.collect_metrics = false;
+  // Each run decides durability itself: ambient RFID_DURABILITY_DIR must
+  // not silently turn every row durable (the baseline rows ARE the
+  // overhead comparison).
+  opts.durability.dir.clear();
+  std::string scratch;
+  if (cfg.durable) {
+    std::string tmpl = std::filesystem::temp_directory_path().string() +
+                       "/rfid_bench_durable_XXXXXX";
+    if (char* got = mkdtemp(tmpl.data())) scratch = got;
+    opts.durability.dir = scratch;
+    // Timed with the default (kData) fsync policy: the honest cost of a
+    // WAL append + one fdatasync per site per event.
+    opts.durability.fsync = DurabilityOptions::FsyncPolicy::kData;
+  }
   DistributedSystem sys(&sim, opts);
   Stopwatch timer;
   sys.Run();
@@ -81,6 +100,13 @@ RunResult RunOnce(const SupplyChainSim& sim, const Config& cfg) {
   r.seconds = timer.ElapsedSeconds();
   r.total_bytes = sys.network().total_bytes();
   r.avg_error = sys.AverageContainmentErrorPercent();
+  if (cfg.durable) {
+    const DurabilityStats totals = sys.DurabilityTotals();
+    r.wal_bytes = totals.wal_bytes + totals.checkpoint_bytes;
+    r.wal_fsyncs = totals.wal_fsyncs;
+    std::error_code ec;
+    std::filesystem::remove_all(scratch, ec);
+  }
   return r;
 }
 
@@ -115,6 +141,13 @@ int Main() {
        {ProcessingMode::kDistributed, 0, true, true, true}},
       {"dist 4t hot-on",
        {ProcessingMode::kDistributed, 4, true, true, true}},
+      // Durable sites (checkpoints + frame WAL + audit log, default fsync
+      // policy): all disk-side, so bytes and accuracy must still match
+      // the baseline exactly -- the row prices the WAL, it cannot change
+      // the run. EXPERIMENTS.md tracks this row's overhead vs hot-on
+      // (<5% target).
+      {"dist serial durable",
+       {ProcessingMode::kDistributed, 0, true, true, true, true}},
   };
 
   obs::RunReport report = bench::MakeReport("epoch_rate");
@@ -127,8 +160,12 @@ int Main() {
   // Baseline per mode: the serial hot-off row is both the speedup
   // denominator and the determinism reference.
   RunResult base[2];
+  RunResult dist_hot_on;
+  RunResult dist_durable;
   for (const Row& row : rows) {
     const RunResult r = RunOnce(sim, row.cfg);
+    if (std::string(row.label) == "dist serial hot-on") dist_hot_on = r;
+    if (std::string(row.label) == "dist serial durable") dist_durable = r;
     const size_t mode_i = row.cfg.mode == ProcessingMode::kCentralized ? 0 : 1;
     if (!row.cfg.arena && !row.cfg.soa && !row.cfg.pipeline &&
         row.cfg.threads == 0) {
@@ -156,6 +193,11 @@ int Main() {
     j.Set("arena", row.cfg.arena);
     j.Set("soa", row.cfg.soa);
     j.Set("pipeline", row.cfg.pipeline);
+    j.Set("durable", row.cfg.durable);
+    if (row.cfg.durable) {
+      j.Set("durable_bytes", r.wal_bytes);
+      j.Set("wal_fsyncs", r.wal_fsyncs);
+    }
     j.Set("seconds", r.seconds);
     j.Set("epochs_per_sec", eps);
     j.Set("readings_per_sec", rps);
@@ -165,11 +207,22 @@ int Main() {
     report.AddRow("epoch_rate", std::move(j));
   }
   table.Print();
+  if (dist_hot_on.seconds > 0.0 && dist_durable.seconds > 0.0) {
+    const double overhead_pct =
+        100.0 * (dist_durable.seconds / dist_hot_on.seconds - 1.0);
+    std::printf(
+        "durability overhead: %+.1f%% wall vs dist serial hot-on "
+        "(%lld durable bytes, %lld fsyncs)\n",
+        overhead_pct, static_cast<long long>(dist_durable.wal_bytes),
+        static_cast<long long>(dist_durable.wal_fsyncs));
+    report.Set("durable_overhead_pct", overhead_pct);
+  }
   std::printf(
       "expected shape: hot-on beats hot-off at every thread count (the\n"
       "arena/SoA index removes per-reading heap traffic); pipelined +\n"
       "threads beats serial centralized (flush encodes overlap server\n"
-      "compute); every row stays deterministic vs the hot-off baseline.\n");
+      "compute); every row stays deterministic vs the hot-off baseline,\n"
+      "including the durable row (the WAL is disk-side only).\n");
   bench::FinishReport(report, "epoch_rate");
   return 0;
 }

@@ -110,6 +110,36 @@ print("fault sweep: %d rows + crash scenario (err=%.2f%%) -- OK"
       % (len(sweep), crash["containment_error_percent"]))
 EOF
 
+echo "==> Durability: durable example replay + log_verify over its audit logs"
+# A real replay with durable sites (checkpoints + frame WAL + hash-chained
+# audit logs) into a scoped scratch directory, then the log_verify CLI
+# over every site's audit log: structural decode, chain recomputation from
+# genesis, and the per-site HMAC must all hold. The env var is scoped to
+# this one run -- exporting it globally would silently flip every crash
+# test onto the durable path and void their kRecoveryRequest assertions
+# (durability_test covers that path; dist_test/fault_test must keep
+# covering the peer-assisted one).
+DUR_DIR="$(mktemp -d)"
+(cd build && RFID_DURABILITY_DIR="${DUR_DIR}" RFID_DURABILITY_FSYNC=off \
+  ./supply_chain_distributed >/dev/null)
+build/log_verify "${DUR_DIR}"
+# Tamper canary: corrupt one byte of one record and log_verify must fail
+# and name the broken link -- the CLI's detection, not just the library's.
+FIRST_LOG="$(ls -S "${DUR_DIR}"/site_*/audit.log | head -n 1)"
+python3 - "$FIRST_LOG" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+assert data, "audit log is empty"
+data[len(data) // 2] ^= 0x01
+open(path, "wb").write(bytes(data))
+EOF
+if build/log_verify "${DUR_DIR}" >/dev/null 2>&1; then
+  echo "log_verify missed a tampered audit log"; exit 1
+fi
+echo "durability: audit logs verified, tamper detected -- OK"
+rm -rf "${DUR_DIR}"
+
 echo "==> Bench orchestrator: quick epoch-rate protocol + schema + regression"
 # Warmup + repeat-3-take-median over bench_epoch_rate via the orchestrator
 # (the same entry point developers use), compared against the tracked

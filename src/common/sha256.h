@@ -1,0 +1,65 @@
+// A self-contained SHA-256 + HMAC-SHA256 implementation (FIPS 180-4 /
+// RFC 2104) for the tamper-evident site audit log (dist/durability.h).
+//
+// The repo links no crypto library and CI forbids adding one, so the
+// digest is implemented here. It is used for integrity chaining and
+// keyed authentication of locally written log records -- a few dozen
+// records per run -- so the scalar implementation is plenty; nothing on
+// the replay hot path hashes.
+#ifndef RFID_COMMON_SHA256_H_
+#define RFID_COMMON_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rfid {
+
+/// A 256-bit digest. Comparable byte-wise; hex-printable for diagnostics.
+using Sha256Digest = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256: Update in any chunking, Finish once.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const uint8_t* data, size_t len);
+  void Update(const std::vector<uint8_t>& data) {
+    Update(data.data(), data.size());
+  }
+  /// Finalizes and returns the digest; the hasher must be Reset before
+  /// further use.
+  Sha256Digest Finish();
+
+  /// One-shot convenience.
+  static Sha256Digest Of(const uint8_t* data, size_t len);
+  static Sha256Digest Of(const std::vector<uint8_t>& data) {
+    return Of(data.data(), data.size());
+  }
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t length_ = 0;  ///< total message bytes absorbed
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+};
+
+/// HMAC-SHA256 over `data` with `key` (RFC 2104).
+Sha256Digest HmacSha256(const std::vector<uint8_t>& key, const uint8_t* data,
+                        size_t len);
+inline Sha256Digest HmacSha256(const std::vector<uint8_t>& key,
+                               const std::vector<uint8_t>& data) {
+  return HmacSha256(key, data.data(), data.size());
+}
+
+/// Lowercase hex of a digest, for messages and the log_verify CLI.
+std::string ToHex(const Sha256Digest& digest);
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_SHA256_H_

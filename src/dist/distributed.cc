@@ -100,9 +100,12 @@ DistributedSystem::DistributedSystem(
     ons_.AttachNetwork(&network_);
   }
   // Crash schedules only make sense against the distributed deployment
-  // (the centralized server has no peer to recover from), and they switch
-  // every site into retain-exports mode so peers can answer a recovering
-  // site's kRecoveryRequest.
+  // (the centralized server has no peer to recover from). Without
+  // durability they switch every site into retain-exports mode so peers
+  // can answer a recovering site's kRecoveryRequest; a durable site
+  // recovers from its own disk instead, needs no retained copies, and may
+  // restart within the crash epoch (recover_at == at) at any CrashPhase.
+  const bool durable_storage = options_.durability.enabled();
   if (!options_.crashes.empty()) {
     RFID_CHECK_OK(centralized()
                       ? Status::InvalidArgument(
@@ -111,7 +114,10 @@ DistributedSystem::DistributedSystem(
     Epoch prev_at = 0;
     for (const CrashEvent& c : options_.crashes) {
       const bool ok = c.site >= 0 && c.site < num_processors && c.at > 0 &&
-                      c.recover_at > c.at && c.at >= prev_at;
+                      (durable_storage ? c.recover_at >= c.at
+                                       : c.recover_at > c.at) &&
+                      c.at >= prev_at &&
+                      (durable_storage || c.phase == CrashPhase::kMidWindow);
       RFID_CHECK_OK(ok ? Status::OK()
                        : Status::InvalidArgument("invalid crash schedule"));
       prev_at = c.at;
@@ -126,7 +132,18 @@ DistributedSystem::DistributedSystem(
                           : Status::OK());
       }
     }
-    options_.site.retain_exports = true;
+    if (!durable_storage) options_.site.retain_exports = true;
+  }
+  // Durable stores open before the sites so MakeSite can attach them; the
+  // stores outlive any individual Site object (a crashed site's
+  // replacement reopens the same on-disk state).
+  if (durable_storage) {
+    durabilities_.reserve(static_cast<size_t>(num_processors));
+    for (SiteId s = 0; s < num_processors; ++s) {
+      auto d = std::make_unique<SiteDurability>(options_.durability, s);
+      RFID_CHECK_OK(d->Open());
+      durabilities_.push_back(std::move(d));
+    }
   }
   sites_.reserve(static_cast<size_t>(num_processors));
   for (SiteId s = 0; s < num_processors; ++s) {
@@ -140,6 +157,9 @@ std::unique_ptr<Site> DistributedSystem::MakeSite(SiteId s) {
                                      &network_, options_.site);
   Site* raw = site.get();
   raw->SetTelemetry(telemetry_.get());
+  if (!durabilities_.empty()) {
+    raw->AttachDurability(durabilities_[static_cast<size_t>(s)].get());
+  }
   network_.RegisterHandler(
       s, [raw](SiteId from, MessageKind kind,
                const std::vector<uint8_t>& payload) {
@@ -267,6 +287,7 @@ void DistributedSystem::Run() {
   size_t crash_idx = 0;
   std::vector<CrashEvent> outstanding;  // crashed, not yet recovered
   std::vector<SiteId> recovered;        // recovered at this event
+  std::vector<CrashEvent> deferred;     // this event's post-drain kills
   for (Epoch t : events) {
     // -- Serial: advance the wall clocks (send epochs, TTL expiry), then
     // drain every processor's delivery queue of frames whose arrival
@@ -276,37 +297,82 @@ void DistributedSystem::Run() {
     network_.AdvanceClock(t);
     ons_.AdvanceClock(t);
 
-    // -- Serial: scheduled failures. A recovering site is marked up
-    // before the drain (so the frames that queued up during its outage
-    // deliver into the replacement process this very event), but its
-    // state rebuild (RecoverSite) waits until after the drain. New
-    // crashes purge before the drain: frames addressed to the dead
-    // process are lost, not delivered.
+    // -- Serial: scheduled failures. Non-durable recoveries mark the site
+    // up before the drain (so the frames that queued up during the outage
+    // deliver into the replacement process this very event); durable
+    // recoveries stay marked down through the drain -- the replacement
+    // must restore its checkpoint and WAL before any backlog applies, so
+    // RecoverSiteDurable drains the fabric itself afterwards. Mid-window
+    // crashes strike before the drain (the dead process never sees this
+    // epoch's frames); post-drain and mid-flush kills defer until after
+    // the sweep and its WAL flush.
     recovered.clear();
     for (auto it = outstanding.begin(); it != outstanding.end();) {
       if (it->recover_at <= t) {
-        network_.SetSiteDown(it->site, false);
+        if (!durable()) network_.SetSiteDown(it->site, false);
         recovered.push_back(it->site);
         it = outstanding.erase(it);
       } else {
         ++it;
       }
     }
+    deferred.clear();
     while (crash_idx < options_.crashes.size() &&
            options_.crashes[crash_idx].at <= t) {
       const CrashEvent& c = options_.crashes[crash_idx];
-      CrashSite(c.site, c.at);
-      outstanding.push_back(c);
+      if (c.phase == CrashPhase::kMidWindow) {
+        CrashSite(c.site, c.at);
+        if (c.recover_at <= t) {
+          recovered.push_back(c.site);  // immediate restart (durable only)
+        } else {
+          outstanding.push_back(c);
+        }
+      } else {
+        deferred.push_back(c);
+      }
       ++crash_idx;
     }
     network_.TickReliability(t);
     {
       obs::PhaseTimer span(telemetry_.get(), obs::Phase::kQueueDrain, t);
       for (SiteId s = 0; s < static_cast<SiteId>(sites_.size()); ++s) {
-        network_.DeliverDue(s, t);
+        // A mid-flush kill caps this site's drain at one frame: the WAL
+        // flush below makes that prefix durable, the crash strikes, and
+        // the unconsumed suffix waits in the fabric (append-before-apply:
+        // no frame is both lost from disk and popped from the network).
+        int max_frames = -1;
+        for (const CrashEvent& c : deferred) {
+          if (c.site == s && c.phase == CrashPhase::kMidFlush) max_frames = 1;
+        }
+        network_.DeliverDue(s, t, max_frames);
       }
     }
-    for (SiteId s : recovered) RecoverSite(s, t);
+    // -- Serial: make this drain's WAL appends (and any audit records
+    // pending since the previous event) durable, one batched fsync per
+    // site per event.
+    if (durable()) {
+      obs::PhaseTimer span(telemetry_.get(), obs::Phase::kWalAppend, t);
+      for (SiteId s = 0; s < static_cast<SiteId>(sites_.size()); ++s) {
+        if (network_.IsSiteDown(s)) continue;
+        RFID_CHECK_OK(durabilities_[static_cast<size_t>(s)]->Flush());
+      }
+    }
+    for (const CrashEvent& c : deferred) {
+      CrashSite(c.site, c.at);
+      if (c.recover_at <= t) {
+        recovered.push_back(c.site);
+      } else {
+        outstanding.push_back(c);
+      }
+    }
+    for (SiteId s : recovered) {
+      if (durable()) {
+        network_.SetSiteDown(s, false);
+        RecoverSiteDurable(s, t);
+      } else {
+        RecoverSite(s, t);
+      }
+    }
 
     // -- Serial: ownership + directory bookkeeping due at t.
     {
@@ -517,6 +583,22 @@ void DistributedSystem::Run() {
       obs::PhaseTimer span(telemetry_.get(), obs::Phase::kSnapshotScan, t);
       RecordSnapshot(t, &executor);
     }
+
+    // -- Serial: durable checkpoints at the cadence boundaries. The cut
+    // point matters: every arrival due at t has installed, every export
+    // departing at t has been taken, so "state at the end of boundary t"
+    // is exactly what the encoder captures -- and WAL segments after this
+    // cut contain precisely the frames drained after it.
+    if (durable() && boundary && options_.site.checkpoint_every > 0 &&
+        (t / period) % options_.site.checkpoint_every == 0) {
+      obs::PhaseTimer span(telemetry_.get(), obs::Phase::kCheckpoint, t);
+      for (SiteId s = 0; s < static_cast<SiteId>(sites_.size()); ++s) {
+        if (network_.IsSiteDown(s)) continue;
+        const size_t si = static_cast<size_t>(s);
+        RFID_CHECK_OK(durabilities_[si]->WriteCheckpoint(
+            t, sites_[si]->EncodeCheckpoint(t)));
+      }
+    }
   }
 
   // -- Reliability flush: with faults on, the last window's frames (or
@@ -543,6 +625,25 @@ void DistributedSystem::Run() {
     reliability_flush_epochs_ = t - horizon;
   }
 
+  // Final durability flush (audit records from the last window pend until
+  // here), then surface the counters alongside the run's other metrics.
+  if (durable()) {
+    for (auto& d : durabilities_) RFID_CHECK_OK(d->Flush());
+    if (telemetry_ != nullptr) {
+      const DurabilityStats totals = DurabilityTotals();
+      auto& reg = telemetry_->registry();
+      reg.GetCounter("durability/wal_appends")->Add(totals.wal_appends);
+      reg.GetCounter("durability/wal_bytes")->Add(totals.wal_bytes);
+      reg.GetCounter("durability/wal_fsyncs")->Add(totals.wal_fsyncs);
+      reg.GetCounter("durability/checkpoints")->Add(totals.checkpoints);
+      reg.GetCounter("durability/checkpoint_bytes")
+          ->Add(totals.checkpoint_bytes);
+      reg.GetCounter("durability/replayed_frames")
+          ->Add(totals.replayed_frames);
+      reg.GetCounter("durability/audit_records")->Add(totals.audit_records);
+    }
+  }
+
   if (telemetry_ != nullptr && telemetry_->tracing()) {
     const Status st = telemetry_->sink()->WriteJson(
         telemetry_->trace_path(), num_processors());
@@ -565,7 +666,13 @@ void DistributedSystem::CrashSite(SiteId s, Epoch at) {
         sites_[static_cast<size_t>(s)]->BelievedContainer(tag);
   }
   crash_at_[s] = at;
-  network_.SetSiteDown(s, true);
+  // Without durability the fabric purges every frame addressed to the
+  // dead process (they had nowhere durable to land). With it, only the
+  // process died: in-flight frames wait out the outage and deliver into
+  // the replacement after its restore -- and any WAL/audit bytes the dead
+  // process had buffered but not fsynced are honestly lost.
+  network_.SetSiteDown(s, true, /*purge=*/!durable());
+  if (durable()) durabilities_[static_cast<size_t>(s)]->DropPending();
   if (telemetry_ != nullptr) {
     telemetry_->registry().GetCounter("crash/crashes")->Add(1);
   }
@@ -661,6 +768,139 @@ void DistributedSystem::RecoverSite(SiteId s, Epoch t) {
                       network_.IsSiteDown(o->second);
     it = keep ? std::next(it) : degraded_beliefs_.erase(it);
   }
+}
+
+void DistributedSystem::RecoverSiteDurable(SiteId s, Epoch t) {
+  obs::PhaseTimer span(telemetry_.get(), obs::Phase::kCrashRecovery, t);
+  auto cit = crash_at_.find(s);
+  const Epoch crashed_at = cit == crash_at_.end() ? t : cit->second;
+  if (cit != crash_at_.end()) crash_at_.erase(cit);
+
+  SiteDurability* d = durabilities_[static_cast<size_t>(s)].get();
+  Site* site = sites_[static_cast<size_t>(s)].get();
+
+  // 1. Restore the newest valid checkpoint cut C (C = 0, empty state,
+  // when none exists) and re-feed the post-C WAL tail through the
+  // handler in append order. Both are re-executions of already-durable
+  // work, so WAL/audit appends stay suppressed.
+  d->set_replaying(true);
+  Epoch cut = 0;
+  std::vector<uint8_t> payload;
+  RFID_CHECK_OK(d->LoadCheckpoint(&cut, &payload));
+  if (!payload.empty()) {
+    RFID_CHECK_OK(site->RestoreCheckpoint(cut, payload));
+  }
+  std::vector<Frame> wal;
+  RFID_CHECK_OK(d->ReadWalSince(cut, &wal));
+  for (const Frame& f : wal) {
+    site->HandleMessage(f.from, f.kind, f.payload);
+  }
+  d->set_replaying(false);
+
+  // 2. Drain the outage backlog the fabric retained (and, after a
+  // mid-flush kill, the unconsumed suffix of the crash epoch's drain).
+  // These frames are new to the WAL and log normally. Because a frame's
+  // drain epoch is monotone in its arrival epoch, checkpoint-pending +
+  // WAL tail + backlog lands in the pending queues in exactly the order
+  // the uncrashed site would have accumulated.
+  network_.DeliverDue(s, t);
+
+  // 3. Replay the site's own trace boundaries in (C, t), the same
+  // interleave as the non-durable rebuild -- except that a transfer that
+  // departed while the process was down was never exported at all, so
+  // the catch-up exports it for real: the destination installs from the
+  // envelope's arrival boundary, and with an all-zero FaultModel the run
+  // stays bit-identical to the uncrashed one even for departures during
+  // the outage. Departures the dead process already exported re-drop
+  // locally (DropTransferState), never re-send.
+  d->set_replaying(true);
+  const Epoch period = options_.site.streaming.inference_period;
+  std::vector<const ObjectTransfer*> departs;
+  for (const ObjectTransfer& tr : sim_->transfers()) {
+    if (tr.from == s && tr.depart > cut && tr.depart < t) {
+      departs.push_back(&tr);
+    }
+  }
+  std::stable_sort(departs.begin(), departs.end(),
+                   [](const ObjectTransfer* a, const ObjectTransfer* b) {
+                     return a->depart < b->depart;
+                   });
+  const std::vector<RawReading>& rs = sim_->site_trace(s).readings();
+  size_t cur = 0;
+  while (cur < rs.size() && rs[cur].time <= cut) ++cur;
+  size_t di = 0;
+  auto observe_to = [&](Epoch b) {
+    const size_t begin = cur;
+    while (cur < rs.size() && rs[cur].time <= b) ++cur;
+    site->ObserveBatch(rs.data() + begin, cur - begin);
+  };
+  auto departs_to = [&](Epoch b, bool inclusive) {
+    while (di < departs.size() &&
+           (inclusive ? departs[di]->depart <= b : departs[di]->depart < b)) {
+      const ObjectTransfer& tr = *departs[di];
+      if (tr.depart >= crashed_at) {
+        // The live departure event ran its window phase (arrivals, then
+        // readings up to the departure epoch) before the export snapshot
+        // the migrating tags' histories; the catch-up export must too, or
+        // the envelope comes up short the readings since the last
+        // boundary.
+        site->DeliverArrivals(tr.depart);
+        observe_to(tr.depart);
+        site->ExportTransfer(tr);
+      } else {
+        site->DropTransferState(tr);
+      }
+      ++di;
+    }
+  };
+  if (period > 0) {
+    for (Epoch b = cut + period; b < t; b += period) {
+      departs_to(b, /*inclusive=*/false);
+      site->DeliverArrivals(b);
+      observe_to(b);
+      site->AdvanceTo(b);
+      departs_to(b, /*inclusive=*/true);
+    }
+  }
+  departs_to(t - 1, /*inclusive=*/true);
+  site->DeliverArrivals(t - 1);
+  observe_to(t - 1);
+  cursors_[static_cast<size_t>(s)] = cur;
+  d->set_replaying(false);
+  // The backlog drain's WAL records become durable now rather than at the
+  // next event's sweep: recovery ends with disk and state in agreement.
+  RFID_CHECK_OK(d->Flush());
+  if (telemetry_ != nullptr) {
+    telemetry_->registry().GetCounter("crash/durable_recoveries")->Add(1);
+  }
+
+  // The site answers live again (same cleanup as the peer-assisted path).
+  // lint:allow(unordered-iter): pure per-key filter; surviving set is
+  // independent of visit order.
+  for (auto it = degraded_beliefs_.begin(); it != degraded_beliefs_.end();) {
+    auto o = owner_.find(it->first);
+    const bool keep = o != owner_.end() && o->second >= 0 &&
+                      o->second < static_cast<SiteId>(sites_.size()) &&
+                      network_.IsSiteDown(o->second);
+    it = keep ? std::next(it) : degraded_beliefs_.erase(it);
+  }
+}
+
+DurabilityStats DistributedSystem::DurabilityTotals() const {
+  DurabilityStats total;
+  for (const auto& d : durabilities_) {
+    const DurabilityStats& s = d->stats();
+    total.wal_appends += s.wal_appends;
+    total.wal_bytes += s.wal_bytes;
+    total.wal_fsyncs += s.wal_fsyncs;
+    total.checkpoints += s.checkpoints;
+    total.checkpoint_bytes += s.checkpoint_bytes;
+    total.replayed_frames += s.replayed_frames;
+    total.torn_tail_records += s.torn_tail_records;
+    total.checkpoint_fallbacks += s.checkpoint_fallbacks;
+    total.audit_records += s.audit_records;
+  }
+  return total;
 }
 
 Site* DistributedSystem::OwnerSite(TagId object) const {

@@ -63,15 +63,39 @@ enum class ProcessingMode : uint8_t {
 
 std::string ToString(ProcessingMode mode);
 
+/// Where within the crash epoch the process dies. Only the default
+/// mid-window kill is legal without durability; the other two probe the
+/// durable-site guarantee at finer kill points (tests/durability_test.cc
+/// sweeps all three at every boundary).
+enum class CrashPhase : uint8_t {
+  /// Before the epoch's delivery drain: the site never sees this epoch's
+  /// frames (they wait in the fabric when durability retains them).
+  kMidWindow = 0,
+  /// After the drain and its WAL flush, before the window compute: the
+  /// site consumed and durably logged the epoch's frames, then died.
+  kPostDrain = 1,
+  /// Partway through the drain: the WAL holds a flushed prefix of the
+  /// epoch's frames and the fabric still queues the unconsumed suffix
+  /// (append-before-apply -- a frame leaves the fabric only once its
+  /// record is durable).
+  kMidFlush = 2,
+};
+
 /// One scheduled site failure: the site's process dies at `at` (losing all
-/// in-memory inference/query state and every queued frame addressed to it)
-/// and a replacement process comes up at `recover_at`, rebuilding itself
-/// from the site's durable raw trace plus the migration state its peers
-/// retained and re-send on request (MessageKind::kRecoveryRequest).
+/// in-memory inference/query state) and a replacement process comes up at
+/// `recover_at`. Without durability the replacement rebuilds from the
+/// site's durable raw trace plus the migration state its peers retained
+/// and re-send on request (MessageKind::kRecoveryRequest), and every
+/// queued frame addressed to the site dies with it. With
+/// DistributedOptions::durability the replacement restores its own
+/// checkpoint + frame WAL from disk instead -- no peer traffic, nothing
+/// purged from the fabric -- and `recover_at == at` (an immediate
+/// restart) becomes legal.
 struct CrashEvent {
   SiteId site = kNoSite;
   Epoch at = 0;
   Epoch recover_at = 0;
+  CrashPhase phase = CrashPhase::kMidWindow;
 };
 
 /// Deterministic crash schedule: `count` crashes at seeded sites/epochs in
@@ -137,13 +161,25 @@ struct DistributedOptions {
   std::string trace_path;
   bool trace = true;
   /// Scheduled site failures (distributed mode only; must be sorted by
-  /// `at`, with 0 < at < recover_at and non-overlapping outages per site).
-  /// Non-empty schedules enable SiteOptions::retain_exports so peers can
-  /// answer the recovering site's kRecoveryRequest. With an all-zero
-  /// FaultModel a crashed-and-recovered run ends bit-identical to the
-  /// uncrashed run, provided no transfer departs the crashed site during
-  /// its outage (that state died with the process and is honestly lost).
+  /// `at`, with 0 < at < recover_at -- or recover_at == at under
+  /// durability -- and non-overlapping outages per site). Without
+  /// durability, non-empty schedules enable SiteOptions::retain_exports
+  /// so peers can answer the recovering site's kRecoveryRequest. With an
+  /// all-zero FaultModel a crashed-and-recovered run ends bit-identical
+  /// to the uncrashed run; the non-durable path additionally requires
+  /// that no transfer depart the crashed site during its outage (that
+  /// state died with the process and is honestly lost).
   std::vector<CrashEvent> crashes;
+  /// Per-site durable storage (dist/durability.h): checkpoints every
+  /// SiteOptions::checkpoint_every boundaries, a frame WAL fsynced per
+  /// delivery drain, and the tamper-evident audit log. Defaults read
+  /// RFID_DURABILITY_DIR / RFID_DURABILITY_FSYNC; disabled when the
+  /// directory is empty. A durable crashed site recovers from its own
+  /// disk (checkpoint + WAL replay + trace replay) with zero
+  /// kRecoveryRequest traffic, and transfers that departed during the
+  /// outage are exported during the catch-up replay instead of being
+  /// lost -- the departed-transfer caveat above disappears.
+  DurabilityOptions durability;
 };
 
 /// Drives a finished simulation through the distributed (or centralized)
@@ -242,6 +278,17 @@ class DistributedSystem {
   /// everything drained at the horizon).
   Epoch reliability_flush_epochs() const { return reliability_flush_epochs_; }
 
+  /// Whether per-site durable storage is attached (durability.dir set).
+  bool durable() const { return !durabilities_.empty(); }
+
+  /// Site `s`'s durable store; nullptr when durability is disabled.
+  const SiteDurability* durability(SiteId s) const {
+    return durable() ? durabilities_[static_cast<size_t>(s)].get() : nullptr;
+  }
+
+  /// Sum of every site's DurabilityStats (all-zero when disabled).
+  DurabilityStats DurabilityTotals() const;
+
  private:
   bool centralized() const {
     return options_.mode == ProcessingMode::kCentralized;
@@ -272,6 +319,13 @@ class DistributedSystem {
   /// peer, then replays the site's own raw trace through every inference
   /// boundary before `t` so its engines converge to the pre-crash state.
   void RecoverSite(SiteId s, Epoch t) REQUIRES(phase_);
+  /// Durable variant: restores the newest valid checkpoint from disk,
+  /// re-feeds the frame-WAL tail through the handler, drains the outage
+  /// backlog the fabric retained, then replays the site's own trace
+  /// boundaries after the checkpoint cut -- exporting for real any
+  /// transfer that departed while the process was down. Zero peer
+  /// traffic.
+  void RecoverSiteDurable(SiteId s, Epoch t) REQUIRES(phase_);
 
   const SupplyChainSim* sim_;
   DistributedOptions options_;
@@ -284,6 +338,10 @@ class DistributedSystem {
   Network network_;
   Ons ons_;
   std::vector<std::unique_ptr<Site>> sites_;
+  /// Per-site durable stores (empty when durability is disabled). Owned
+  /// here -- not by the Site -- so the WAL/audit state survives a crashed
+  /// site's teardown and the replacement process reopens the same files.
+  std::vector<std::unique_ptr<SiteDurability>> durabilities_;
 
   /// Serial-phase capability over the crash/recovery and ownership
   /// bookkeeping: written only in Run's serial phases (exclusive), read

@@ -53,6 +53,8 @@ std::string ToString(MessageKind kind) {
       return "ack";
     case MessageKind::kRecoveryRequest:
       return "recovery_request";
+    case MessageKind::kCheckpoint:
+      return "checkpoint";
   }
   return "unknown";
 }

@@ -46,7 +46,9 @@ namespace rfid {
 /// service" load of Section 5.2, charged per (site, shard host) link since
 /// the directory is sharded across sites; see dist/ons.h), cumulative
 /// per-link acknowledgements (the reliability tax), and crash-recovery
-/// state re-requests.
+/// state re-requests. kCheckpoint never crosses the network: it is the
+/// on-disk record kind of a durable site checkpoint (dist/durability.h),
+/// which reuses the v2 frame encoder as its CRC-framed storage envelope.
 enum class MessageKind : uint8_t {
   kRawReadings = 0,
   kInferenceState = 1,
@@ -54,9 +56,10 @@ enum class MessageKind : uint8_t {
   kDirectory = 3,
   kAck = 4,
   kRecoveryRequest = 5,
+  kCheckpoint = 6,
 };
 
-inline constexpr int kNumMessageKinds = 6;
+inline constexpr int kNumMessageKinds = 7;
 
 std::string ToString(MessageKind kind);
 

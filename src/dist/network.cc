@@ -351,7 +351,7 @@ size_t Network::Send(SiteId from, SiteId to, MessageKind kind,
   return wire;
 }
 
-int Network::DeliverDue(SiteId site, Epoch now) {
+int Network::DeliverDue(SiteId site, Epoch now, int max_frames) {
   phase_.AssertHeld();
   // A crashed site receives nothing; its traffic backlog is purged by
   // SetSiteDown and anything sent during the outage waits in the
@@ -385,7 +385,8 @@ int Network::DeliverDue(SiteId site, Epoch now) {
   // the per-link ack_pending flag); one kAck per peer goes out after the
   // sweep with the final cumulative value.
   std::vector<SiteId> ack_peers;
-  while (!q.empty() && q.top().arrive <= now) {
+  while (!q.empty() && q.top().arrive <= now &&
+         (max_frames < 0 || delivered < max_frames)) {
     const QueuedFrame& top = q.top();
     const Frame& f = top.frame;
     in_flight_messages_ -= 1;
@@ -460,13 +461,16 @@ void Network::TickReliability(Epoch now) {
   }
 }
 
-int64_t Network::SetSiteDown(SiteId site, bool down) {
+int64_t Network::SetSiteDown(SiteId site, bool down, bool purge) {
   phase_.AssertHeld();
   if (!down) {
     down_.erase(site);
     return 0;
   }
   down_.insert(site);
+  // Durable crash: the process lost its memory, but nothing in the fabric
+  // is affected -- queued frames simply wait out the outage.
+  if (!purge) return 0;
   int64_t lost = 0;
   // Purge every copy already queued for the site: in the transport and in
   // the stamped pending queue. Those copies were in flight.

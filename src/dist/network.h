@@ -330,7 +330,11 @@ class Network {
   /// as popped but are consumed by the protocol, not the handler). A site
   /// marked down by SetSiteDown receives nothing. After the sweep the
   /// receiver sends one cumulative kAck per peer link that delivered.
-  int DeliverDue(SiteId site, Epoch now);
+  /// `max_frames` caps the frames popped this sweep (the crash model's
+  /// mid-drain kill point: a durable site that dies partway through a
+  /// drain leaves the unconsumed suffix queued in the fabric); negative
+  /// means unlimited.
+  int DeliverDue(SiteId site, Epoch now, int max_frames = -1);
 
   /// Retransmits every tracked frame whose retry timer expired at `now`
   /// (exponential backoff per attempt) and releases deferred frames into
@@ -338,17 +342,21 @@ class Network {
   /// No-op when the reliability protocol is off.
   void TickReliability(Epoch now);
 
-  /// Marks `site` crashed (down = true): every frame currently queued for
-  /// it -- in the transport, in the pending arrival queue, or tracked/
-  /// deferred toward it by the reliability layer -- is discarded, and both
+  /// Marks `site` crashed (down = true). With `purge` set (the
+  /// non-durable crash model): every frame currently queued for it -- in
+  /// the transport, in the pending arrival queue, or tracked/deferred
+  /// toward it by the reliability layer -- is discarded, and both
   /// directions of every peer's link INTO the site reset to a fresh link
   /// epoch (link_seq restarts; the crashed receiver's dedup state is
   /// gone). The site's own outbound tracking survives -- the fabric, not
-  /// the site, owns it. While down, DeliverDue delivers nothing and
-  /// TickReliability does not retransmit toward it; frames sent to it
-  /// queue for delivery after recovery. Returns the number of frames
-  /// discarded (also added to reliable_stats().crash_frames_lost).
-  int64_t SetSiteDown(SiteId site, bool down);
+  /// the site, owns it. With `purge` false (durable sites): only the
+  /// down mark is set; in-flight frames, pending arrivals, and link state
+  /// are retained -- the process died, the fabric did not. While down,
+  /// DeliverDue delivers nothing and TickReliability does not retransmit
+  /// toward it; frames sent to it queue for delivery after recovery.
+  /// Returns the number of frames discarded (also added to
+  /// reliable_stats().crash_frames_lost).
+  int64_t SetSiteDown(SiteId site, bool down, bool purge = true);
   /// Read concurrently by window/scan workers (BelievedContainer's
   /// degraded-mode check): shared access to serially-written state.
   bool IsSiteDown(SiteId site) const {

@@ -124,6 +124,23 @@ Status DecodeStateBlock(BufferReader& r, bool share, TagStateList* out) {
   return Status::OK();
 }
 
+/// Audit-logs every alert `q` fired since index `from` (payload: query
+/// index, tag, span, event count).
+void AppendAlertAudit(SiteDurability* durability, int query_index,
+                      const ExposureQuery& q, size_t from) {
+  for (size_t i = from; i < q.alerts().size(); ++i) {
+    const ExposureAlert& a = q.alerts()[i];
+    BufferWriter w;
+    w.PutU8(static_cast<uint8_t>(query_index));
+    w.PutTagId(a.tag);
+    w.PutSignedVarint(a.first_time);
+    w.PutSignedVarint(a.last_time);
+    w.PutVarint(static_cast<uint64_t>(a.n_events));
+    RFID_CHECK_OK(durability->AppendAudit(AuditRecord::Kind::kAlert,
+                                          a.last_time, w.Release()));
+  }
+}
+
 }  // namespace
 
 std::string ToString(MigrationMode mode) {
@@ -257,6 +274,8 @@ int Site::AdvanceTo(Epoch now) {
 }
 
 void Site::FeedQueries(const std::vector<ObjectEvent>& events) {
+  const size_t q1_fired = q1_->alerts().size();
+  const size_t q2_fired = q2_->alerts().size();
   for (const ObjectEvent& e : events) {
     // Temperature[Partition By sensor Rows 1]: each event joins with the
     // latest sample at or before its own epoch.
@@ -268,6 +287,10 @@ void Site::FeedQueries(const std::vector<ObjectEvent>& events) {
     }
     q1_->OnEvent(e);
     q2_->OnEvent(e);
+  }
+  if (durability_ != nullptr) {
+    AppendAlertAudit(durability_, 0, *q1_, q1_fired);
+    AppendAlertAudit(durability_, 1, *q2_, q2_fired);
   }
 }
 
@@ -334,6 +357,19 @@ void Site::ExportTransfer(const ObjectTransfer& tr) {
   if (tr.to == kNoSite) {
     Retire(tr);
     return;
+  }
+  if (durability_ != nullptr) {
+    // Movement audit record: where the group went and what it carried.
+    BufferWriter w;
+    w.PutSignedVarint(tr.to);
+    w.PutSignedVarint(tr.depart);
+    w.PutSignedVarint(tr.arrive);
+    w.PutVarint(tr.items.size());
+    for (TagId t : tr.items) w.PutTagId(t);
+    w.PutVarint(tr.cases.size());
+    for (TagId t : tr.cases) w.PutTagId(t);
+    RFID_CHECK_OK(durability_->AppendAudit(AuditRecord::Kind::kMovement,
+                                           tr.depart, w.Release()));
   }
   // A transfer with cases but no items (e.g. case-level-only tracking)
   // must still ship its case→pallet state when the hierarchy is on.
@@ -451,6 +487,16 @@ void Site::Retire(const ObjectTransfer& tr) {
 
 void Site::HandleMessage(SiteId from, MessageKind kind,
                          const std::vector<uint8_t>& payload) {
+  // Append-before-apply: a state-bearing frame reaches the WAL before its
+  // payload can mutate site state, so recovery replays exactly what the
+  // live site consumed. (No-op during recovery replay -- the record is
+  // already on disk.) The batch is fsynced once per delivery drain.
+  if (durability_ != nullptr && (kind == MessageKind::kInferenceState ||
+                                 kind == MessageKind::kQueryState ||
+                                 kind == MessageKind::kRawReadings)) {
+    RFID_CHECK_OK(
+        durability_->AppendFrame(from, kind, payload, network_->now()));
+  }
   switch (kind) {
     case MessageKind::kInferenceState: {
       Result<PendingArrival> arrival = DecodeInferenceEnvelope(payload);
@@ -516,7 +562,213 @@ void Site::HandleMessage(SiteId from, MessageKind kind,
       }
       break;
     }
+    case MessageKind::kCheckpoint:
+      // Disk-only record kind: the durable checkpoint envelope reuses the
+      // frame codec as its storage format (dist/durability.cc) but never
+      // crosses the network; tolerate one defensively.
+      break;
   }
+}
+
+// ---- Durable checkpoints ----
+
+namespace {
+
+constexpr uint8_t kCheckpointVersion = 1;
+
+void PutBlob(BufferWriter& w, const std::vector<uint8_t>& bytes) {
+  w.PutVarint(bytes.size());
+  w.PutBytes(bytes.data(), bytes.size());
+}
+
+Status GetBlob(BufferReader& r, std::vector<uint8_t>* out) {
+  uint64_t len = 0;
+  RFID_RETURN_NOT_OK(r.GetVarint(&len));
+  if (len > r.remaining()) {
+    return Status::Corruption("truncated checkpoint blob");
+  }
+  out->resize(static_cast<size_t>(len));
+  for (size_t i = 0; i < out->size(); ++i) {
+    RFID_RETURN_NOT_OK(r.GetU8(&(*out)[i]));
+  }
+  return Status::OK();
+}
+
+/// One query's durable state: pattern automata (sorted by tag for
+/// canonical bytes) plus the alerts it has fired.
+void EncodeQueryState(BufferWriter& w, const ExposureQuery& q) {
+  std::vector<TagId> tags = q.StatefulObjects();
+  std::sort(tags.begin(), tags.end());
+  w.PutVarint(tags.size());
+  for (TagId tag : tags) {
+    w.PutTagId(tag);
+    PutBlob(w, q.ExportState(tag));
+  }
+  w.PutVarint(q.alerts().size());
+  for (const ExposureAlert& a : q.alerts()) {
+    w.PutTagId(a.tag);
+    w.PutSignedVarint(a.first_time);
+    w.PutSignedVarint(a.last_time);
+    w.PutVarint(static_cast<uint64_t>(a.n_events));
+  }
+}
+
+Status RestoreQueryState(BufferReader& r, ExposureQuery* q) {
+  uint64_t n = 0;
+  RFID_RETURN_NOT_OK(r.GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    TagId tag;
+    std::vector<uint8_t> bytes;
+    RFID_RETURN_NOT_OK(r.GetTagId(&tag));
+    RFID_RETURN_NOT_OK(GetBlob(r, &bytes));
+    RFID_RETURN_NOT_OK(q->ImportState(tag, bytes));
+  }
+  uint64_t n_alerts = 0;
+  RFID_RETURN_NOT_OK(r.GetVarint(&n_alerts));
+  std::vector<ExposureAlert> alerts;
+  alerts.reserve(static_cast<size_t>(n_alerts));
+  for (uint64_t i = 0; i < n_alerts; ++i) {
+    ExposureAlert a;
+    uint64_t n_events = 0;
+    RFID_RETURN_NOT_OK(r.GetTagId(&a.tag));
+    RFID_RETURN_NOT_OK(r.GetSignedVarint(&a.first_time));
+    RFID_RETURN_NOT_OK(r.GetSignedVarint(&a.last_time));
+    RFID_RETURN_NOT_OK(r.GetVarint(&n_events));
+    a.n_events = static_cast<int64_t>(n_events);
+    alerts.push_back(a);
+  }
+  q->RestoreAlerts(alerts);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> Site::EncodeCheckpoint(Epoch epoch) {
+  BufferWriter w;
+  w.PutU8(kCheckpointVersion);
+  w.PutSignedVarint(id_);
+  w.PutSignedVarint(epoch);
+  w.PutU8(pallet_streaming_ != nullptr ? 1 : 0);
+  streaming_.EncodeSnapshot(&w);
+  if (pallet_streaming_ != nullptr) {
+    pallet_streaming_->EncodeSnapshot(&w);
+  }
+  w.PutSignedVarint(event_watermark_);
+  w.PutVarint(sensor_cursor_);
+  // Pending arrivals (envelope arrival epoch > the cut). Their weights
+  // came off the wire float-collapsed, so re-encoding through the
+  // migration codec is lossless here.
+  w.PutVarint(pending_inference_.size());
+  for (const PendingArrival& p : pending_inference_) {
+    w.PutSignedVarint(p.arrive);
+    w.PutSignedVarint(p.from);
+    PutBlob(w, EncodeMigrationStates(p.states));
+    PutBlob(w, EncodeMigrationStates(p.case_states));
+  }
+  w.PutVarint(pending_query_.size());
+  for (const PendingQueryState& p : pending_query_) {
+    w.PutSignedVarint(p.arrive);
+    for (const auto* states : {&p.q1_states, &p.q2_states}) {
+      w.PutVarint(states->size());
+      for (const auto& [tag, bytes] : *states) {
+        w.PutTagId(tag);
+        PutBlob(w, bytes);
+      }
+    }
+  }
+  w.PutU8(queries_attached() ? 1 : 0);
+  if (queries_attached()) {
+    EncodeQueryState(w, *q1_);
+    EncodeQueryState(w, *q2_);
+  }
+  return w.Release();
+}
+
+Status Site::RestoreCheckpoint(Epoch epoch,
+                               const std::vector<uint8_t>& bytes) {
+  BufferReader r(bytes);
+  uint8_t version = 0;
+  RFID_RETURN_NOT_OK(r.GetU8(&version));
+  if (version != kCheckpointVersion) {
+    return Status::Corruption("unsupported checkpoint version");
+  }
+  int64_t site = 0, cut = 0;
+  RFID_RETURN_NOT_OK(r.GetSignedVarint(&site));
+  RFID_RETURN_NOT_OK(r.GetSignedVarint(&cut));
+  if (site != id_ || cut != epoch) {
+    return Status::Corruption("checkpoint identity mismatch");
+  }
+  uint8_t hierarchical = 0;
+  RFID_RETURN_NOT_OK(r.GetU8(&hierarchical));
+  if ((hierarchical != 0) != (pallet_streaming_ != nullptr)) {
+    return Status::Corruption("checkpoint hierarchy mismatch");
+  }
+  RFID_RETURN_NOT_OK(streaming_.RestoreSnapshot(&r));
+  if (pallet_streaming_ != nullptr) {
+    RFID_RETURN_NOT_OK(pallet_streaming_->RestoreSnapshot(&r));
+  }
+  RFID_RETURN_NOT_OK(r.GetSignedVarint(&event_watermark_));
+  uint64_t cursor = 0;
+  RFID_RETURN_NOT_OK(r.GetVarint(&cursor));
+  if (cursor > sensors_.size()) {
+    return Status::Corruption("sensor cursor past re-added stream");
+  }
+  uint64_t n = 0;
+  RFID_RETURN_NOT_OK(r.GetVarint(&n));
+  pending_inference_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    PendingArrival p;
+    RFID_RETURN_NOT_OK(r.GetSignedVarint(&p.arrive));
+    int64_t from = 0;
+    RFID_RETURN_NOT_OK(r.GetSignedVarint(&from));
+    p.from = static_cast<SiteId>(from);
+    for (auto* batch : {&p.states, &p.case_states}) {
+      std::vector<uint8_t> blob;
+      RFID_RETURN_NOT_OK(GetBlob(r, &blob));
+      RFID_ASSIGN_OR_RETURN(*batch, DecodeMigrationStates(blob));
+    }
+    pending_inference_.push_back(std::move(p));
+  }
+  RFID_RETURN_NOT_OK(r.GetVarint(&n));
+  pending_query_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    PendingQueryState p;
+    RFID_RETURN_NOT_OK(r.GetSignedVarint(&p.arrive));
+    for (auto* states : {&p.q1_states, &p.q2_states}) {
+      uint64_t m = 0;
+      RFID_RETURN_NOT_OK(r.GetVarint(&m));
+      for (uint64_t j = 0; j < m; ++j) {
+        TagId tag;
+        std::vector<uint8_t> blob;
+        RFID_RETURN_NOT_OK(r.GetTagId(&tag));
+        RFID_RETURN_NOT_OK(GetBlob(r, &blob));
+        states->emplace_back(tag, std::move(blob));
+      }
+    }
+    pending_query_.push_back(std::move(p));
+  }
+  uint8_t had_queries = 0;
+  RFID_RETURN_NOT_OK(r.GetU8(&had_queries));
+  if ((had_queries != 0) != queries_attached()) {
+    return Status::Corruption("checkpoint query attachment mismatch");
+  }
+  if (queries_attached()) {
+    // Re-feed the consumed sensor prefix first: the query joins' latest
+    // per-sensor row is a function of that prefix alone (sensor rows
+    // never propagate downstream), restoring the join state the pattern
+    // imports below continue from.
+    for (size_t i = 0; i < cursor; ++i) {
+      q1_->OnSensor(sensors_[i]);
+      q2_->OnSensor(sensors_[i]);
+    }
+    RFID_RETURN_NOT_OK(RestoreQueryState(r, q1_.get()));
+    RFID_RETURN_NOT_OK(RestoreQueryState(r, q2_.get()));
+  }
+  sensor_cursor_ = static_cast<size_t>(cursor);
+  if (!r.exhausted()) {
+    return Status::Corruption("trailing bytes after checkpoint");
+  }
+  return Status::OK();
 }
 
 // ---- Wire codecs ----

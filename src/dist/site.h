@@ -37,6 +37,7 @@
 #include "common/arena.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "dist/durability.h"
 #include "dist/network.h"
 #include "inference/state.h"
 #include "inference/streaming.h"
@@ -72,8 +73,14 @@ struct SiteOptions {
   bool hierarchical = false;
   /// Keep a copy of every exported envelope so a crashed-and-rebuilt peer
   /// can re-request the state it lost (MessageKind::kRecoveryRequest).
-  /// Enabled by DistributedSystem when a crash schedule is configured.
+  /// Enabled by DistributedSystem when a crash schedule is configured
+  /// *without* durability; a durable site recovers from its own disk and
+  /// never asks peers to re-send.
   bool retain_exports = false;
+  /// Cut a durable checkpoint every this many inference boundaries when
+  /// durability is attached (dist/durability.h); 0 = WAL-only recovery
+  /// (replay the full frame WAL and site trace from scratch).
+  int checkpoint_every = 1;
 };
 
 /// A decoded inbound state transfer waiting for its arrival epoch. `states`
@@ -168,6 +175,32 @@ class Site {
   void HandleMessage(SiteId from, MessageKind kind,
                      const std::vector<uint8_t>& payload);
 
+  // ---- Durability (dist/durability.h) ----
+
+  /// Attaches the site's durable storage (driver-owned, outlives the
+  /// site across crash rebuilds; null detaches). With storage attached,
+  /// HandleMessage WAL-logs every state-bearing inbound frame before
+  /// applying it, and fired alerts / outbound transfers append to the
+  /// tamper-evident audit log.
+  void AttachDurability(SiteDurability* durability) {
+    durability_ = durability;
+  }
+  SiteDurability* durability() const { return durability_; }
+
+  /// Serializes the complete site state as of the boundary cut `epoch`:
+  /// both inference levels' snapshots, the pending arrival queues, query
+  /// pattern states and fired alerts, the sensor cursor, and the event
+  /// watermark. Same envelope discipline as the migration codecs; the
+  /// caller wraps the bytes in a kCheckpoint frame for storage.
+  std::vector<uint8_t> EncodeCheckpoint(Epoch epoch);
+
+  /// Restores EncodeCheckpoint bytes into this freshly built site. The
+  /// site must be constructed with the same options, have its queries
+  /// attached, and have its sensor stream re-added (AddSensor) first --
+  /// restore re-feeds the consumed sensor prefix into the query joins.
+  /// `epoch` must equal the encoding cut.
+  Status RestoreCheckpoint(Epoch epoch, const std::vector<uint8_t>& bytes);
+
   /// The site's current belief about an object's container (local
   /// inference, change overrides, or imported belief). Items answer from
   /// the item→case engine; cases answer from the pallet-level engine when
@@ -222,6 +255,7 @@ class Site {
   SiteId id_;
   Network* network_;
   obs::Telemetry* telemetry_ = nullptr;
+  SiteDurability* durability_ = nullptr;
   SiteOptions options_;
   /// Scratch for the per-batch non-item split feeding the pallet level;
   /// rewound at the end of every ObserveBatch, so steady-state batches

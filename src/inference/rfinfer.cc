@@ -615,6 +615,59 @@ std::vector<std::pair<TagId, double>> RFInfer::ExportWeights(
   return out;
 }
 
+void RFInfer::RestoreResults(
+    std::vector<TagId> container_tags,
+    const std::vector<RestoredObjectResult>& objects) {
+  trace_ = nullptr;
+  window_ = EpochInterval{};
+  iterations_used_ = 0;
+  log_likelihood_ = 0.0;
+  likelihood_history_.clear();
+  container_tags_ = std::move(container_tags);
+  containers_.clear();
+  containers_.resize(container_tags_.size());
+  container_index_.clear();
+  for (size_t i = 0; i < container_tags_.size(); ++i) {
+    containers_[i].tag = container_tags_[i];
+    container_index_[container_tags_[i]] = static_cast<int>(i);
+  }
+  object_tags_.clear();
+  object_tags_.reserve(objects.size());
+  objects_.clear();
+  objects_.reserve(objects.size());
+  object_index_.clear();
+  for (const RestoredObjectResult& ro : objects) {
+    ObjectData o;
+    o.tag = ro.tag;
+    o.candidates.reserve(ro.weights.size());
+    o.weights.reserve(ro.weights.size());
+    for (const auto& [ctag, w] : ro.weights) {
+      const int ci = ContainerIndexOf(ctag);
+      if (ci < 0) continue;  // checkpoint invariant; tolerated, not trusted
+      o.candidates.push_back(ci);
+      o.weights.push_back(w);
+    }
+    if (ro.assigned.valid()) {
+      const int ci = ContainerIndexOf(ro.assigned);
+      for (size_t j = 0; j < o.candidates.size(); ++j) {
+        if (o.candidates[j] == ci) {
+          o.assigned = static_cast<int>(j);
+          break;
+        }
+      }
+    }
+    const int oi = static_cast<int>(objects_.size());
+    object_index_[o.tag] = oi;
+    object_tags_.push_back(o.tag);
+    if (o.assigned >= 0) {
+      containers_[static_cast<size_t>(o.candidates[static_cast<size_t>(
+                      o.assigned)])]
+          .objects.push_back(oi);
+    }
+    objects_.push_back(std::move(o));
+  }
+}
+
 LocationId RFInfer::LocationOf(TagId tag, Epoch t) const {
   const int ci = ContainerIndexOf(tag);
   if (ci >= 0) {

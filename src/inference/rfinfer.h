@@ -151,6 +151,24 @@ class RFInfer {
   /// inference state migrated between sites (Section 4.1).
   std::vector<std::pair<TagId, double>> ExportWeights(TagId object) const;
 
+  /// One object's containment result, as persisted by a durable checkpoint
+  /// (dist/durability.h): the pruned candidate weights of the last run and
+  /// the resulting assignment (kNoTag when unassigned).
+  struct RestoredObjectResult {
+    TagId tag;
+    std::vector<std::pair<TagId, double>> weights;
+    TagId assigned = kNoTag;
+  };
+
+  /// Reinstates the containment results of a previous run from a durable
+  /// checkpoint. Only the containment accessors (ContainerOf / ObjectsOf /
+  /// CandidatesOf / WeightOf / ExportWeights) and the tag universe reflect
+  /// the restored state; location estimates, evidence series, and EM
+  /// internals are rebuilt from scratch by the next Run, exactly as they
+  /// are after a live run's results have aged past its window.
+  void RestoreResults(std::vector<TagId> container_tags,
+                      const std::vector<RestoredObjectResult>& objects);
+
   /// Tag universe of the last run.
   const std::vector<TagId>& object_tags() const { return object_tags_; }
   const std::vector<TagId>& container_tags() const { return container_tags_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stopwatch.h"
+#include "trace/trace_io.h"
 
 namespace rfid {
 
@@ -307,6 +308,250 @@ std::vector<RawReading> StreamingInference::ExportReadings(
   }
   std::sort(out.begin(), out.end(), RawReadingOrder{});
   return out;
+}
+
+namespace {
+
+// Snapshot framing version; bump on layout changes so a stale checkpoint
+// fails loudly instead of decoding garbage.
+constexpr uint8_t kSnapshotVersion = 1;
+
+template <typename Map>
+std::vector<TagId> SortedKeys(const Map& map) {
+  std::vector<TagId> keys;
+  keys.reserve(map.size());
+  // lint:allow(unordered-iter): keys are collected then sorted; the
+  // serialized order is canonical regardless of map iteration order.
+  for (const auto& [tag, value] : map) keys.push_back(tag);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void PutChanges(BufferWriter* w, const std::vector<ChangePointResult>& cps) {
+  w->PutVarint(cps.size());
+  for (const ChangePointResult& cp : cps) {
+    w->PutTagId(cp.object);
+    w->PutSignedVarint(cp.time);
+    w->PutTagId(cp.old_container);
+    w->PutTagId(cp.new_container);
+    w->PutDouble(cp.delta);
+  }
+}
+
+Status GetChanges(BufferReader* r, std::vector<ChangePointResult>* out) {
+  uint64_t n = 0;
+  RFID_RETURN_NOT_OK(r->GetVarint(&n));
+  out->clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    ChangePointResult cp;
+    RFID_RETURN_NOT_OK(r->GetTagId(&cp.object));
+    RFID_RETURN_NOT_OK(r->GetSignedVarint(&cp.time));
+    RFID_RETURN_NOT_OK(r->GetTagId(&cp.old_container));
+    RFID_RETURN_NOT_OK(r->GetTagId(&cp.new_container));
+    RFID_RETURN_NOT_OK(r->GetDouble(&cp.delta));
+    out->push_back(cp);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void StreamingInference::EncodeSnapshot(BufferWriter* w) {
+  w->PutU8(kSnapshotVersion);
+
+  // Retained history buffer (the migration codec's shared delta layout).
+  if (!buffer_.sealed()) buffer_.Seal();
+  const auto& readings = buffer_.readings();
+  w->PutVarint(readings.size());
+  Epoch prev_time = 0;
+  uint64_t prev_tag = 0;
+  for (const RawReading& r : readings) {
+    PutDeltaReading(*w, r, prev_time, prev_tag);
+  }
+
+  // Run cursor.
+  w->PutSignedVarint(next_run_);
+  w->PutSignedVarint(last_run_at_);
+  w->PutVarint(static_cast<uint64_t>(runs_));
+
+  // Per-object contexts, at full double precision (the migration envelope
+  // collapses weights to float and drops critical_region_gap; checkpoints
+  // must restore the exact local state).
+  const std::vector<TagId> ctx_keys = SortedKeys(contexts_);
+  w->PutVarint(ctx_keys.size());
+  for (TagId tag : ctx_keys) {
+    const ObjectContext& ctx = contexts_.at(tag);
+    w->PutTagId(tag);
+    w->PutU8(ctx.critical_region.has_value() ? 1 : 0);
+    if (ctx.critical_region.has_value()) {
+      w->PutSignedVarint(ctx.critical_region->begin);
+      w->PutSignedVarint(ctx.critical_region->end);
+    }
+    w->PutDouble(ctx.critical_region_gap);
+    w->PutSignedVarint(ctx.barrier);
+    w->PutVarint(ctx.prior_weights.size());
+    for (const auto& [ctag, weight] : ctx.prior_weights) {
+      w->PutTagId(ctag);
+      w->PutDouble(weight);
+    }
+  }
+
+  for (const auto* map : {&change_overrides_, &imported_beliefs_}) {
+    const std::vector<TagId> keys = SortedKeys(*map);
+    w->PutVarint(keys.size());
+    for (TagId tag : keys) {
+      w->PutTagId(tag);
+      w->PutTagId(map->at(tag));
+    }
+  }
+
+  PutChanges(w, last_changes_);
+  PutChanges(w, all_changes_);
+
+  const std::vector<TagId> track_keys = SortedKeys(location_track_);
+  w->PutVarint(track_keys.size());
+  for (TagId tag : track_keys) {
+    const std::vector<TagRead>& track = location_track_.at(tag);
+    w->PutTagId(tag);
+    w->PutVarint(track.size());
+    for (const TagRead& tr : track) {
+      w->PutSignedVarint(tr.time);
+      w->PutVarint(static_cast<uint64_t>(tr.reader));
+    }
+  }
+
+  // Last-run containment results of the engine: universe, candidate
+  // weights, assignment.
+  w->PutVarint(engine_->container_tags().size());
+  for (TagId c : engine_->container_tags()) w->PutTagId(c);
+  w->PutVarint(engine_->object_tags().size());
+  for (TagId o : engine_->object_tags()) {
+    w->PutTagId(o);
+    const auto weights = engine_->ExportWeights(o);
+    w->PutVarint(weights.size());
+    for (const auto& [ctag, weight] : weights) {
+      w->PutTagId(ctag);
+      w->PutDouble(weight);
+    }
+    w->PutTagId(engine_->ContainerOf(o));
+  }
+}
+
+Status StreamingInference::RestoreSnapshot(BufferReader* r) {
+  uint8_t version = 0;
+  RFID_RETURN_NOT_OK(r->GetU8(&version));
+  if (version != kSnapshotVersion) {
+    return Status::Corruption("unsupported streaming snapshot version");
+  }
+
+  uint64_t n_readings = 0;
+  RFID_RETURN_NOT_OK(r->GetVarint(&n_readings));
+  Epoch prev_time = 0;
+  uint64_t prev_tag = 0;
+  for (uint64_t i = 0; i < n_readings; ++i) {
+    RawReading reading;
+    RFID_RETURN_NOT_OK(GetDeltaReading(*r, &reading, prev_time, prev_tag));
+    buffer_.Add(reading);
+  }
+
+  RFID_RETURN_NOT_OK(r->GetSignedVarint(&next_run_));
+  RFID_RETURN_NOT_OK(r->GetSignedVarint(&last_run_at_));
+  uint64_t runs = 0;
+  RFID_RETURN_NOT_OK(r->GetVarint(&runs));
+  runs_ = static_cast<int>(runs);
+
+  uint64_t n_contexts = 0;
+  RFID_RETURN_NOT_OK(r->GetVarint(&n_contexts));
+  contexts_.clear();
+  for (uint64_t i = 0; i < n_contexts; ++i) {
+    TagId tag;
+    RFID_RETURN_NOT_OK(r->GetTagId(&tag));
+    ObjectContext ctx;
+    uint8_t has_cr = 0;
+    RFID_RETURN_NOT_OK(r->GetU8(&has_cr));
+    if (has_cr != 0) {
+      EpochInterval cr;
+      RFID_RETURN_NOT_OK(r->GetSignedVarint(&cr.begin));
+      RFID_RETURN_NOT_OK(r->GetSignedVarint(&cr.end));
+      ctx.critical_region = cr;
+    }
+    RFID_RETURN_NOT_OK(r->GetDouble(&ctx.critical_region_gap));
+    RFID_RETURN_NOT_OK(r->GetSignedVarint(&ctx.barrier));
+    uint64_t n_weights = 0;
+    RFID_RETURN_NOT_OK(r->GetVarint(&n_weights));
+    for (uint64_t j = 0; j < n_weights; ++j) {
+      TagId ctag;
+      double weight = 0.0;
+      RFID_RETURN_NOT_OK(r->GetTagId(&ctag));
+      RFID_RETURN_NOT_OK(r->GetDouble(&weight));
+      ctx.prior_weights.emplace_back(ctag, weight);
+    }
+    contexts_[tag] = std::move(ctx);
+  }
+
+  for (auto* map : {&change_overrides_, &imported_beliefs_}) {
+    uint64_t n = 0;
+    RFID_RETURN_NOT_OK(r->GetVarint(&n));
+    map->clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      TagId object;
+      TagId container;
+      RFID_RETURN_NOT_OK(r->GetTagId(&object));
+      RFID_RETURN_NOT_OK(r->GetTagId(&container));
+      (*map)[object] = container;
+    }
+  }
+
+  RFID_RETURN_NOT_OK(GetChanges(r, &last_changes_));
+  RFID_RETURN_NOT_OK(GetChanges(r, &all_changes_));
+
+  uint64_t n_tracks = 0;
+  RFID_RETURN_NOT_OK(r->GetVarint(&n_tracks));
+  location_track_.clear();
+  for (uint64_t i = 0; i < n_tracks; ++i) {
+    TagId tag;
+    RFID_RETURN_NOT_OK(r->GetTagId(&tag));
+    uint64_t n = 0;
+    RFID_RETURN_NOT_OK(r->GetVarint(&n));
+    std::vector<TagRead>& track = location_track_[tag];
+    for (uint64_t j = 0; j < n; ++j) {
+      TagRead tr;
+      RFID_RETURN_NOT_OK(r->GetSignedVarint(&tr.time));
+      uint64_t reader = 0;
+      RFID_RETURN_NOT_OK(r->GetVarint(&reader));
+      tr.reader = static_cast<LocationId>(reader);
+      track.push_back(tr);
+    }
+  }
+
+  uint64_t n_containers = 0;
+  RFID_RETURN_NOT_OK(r->GetVarint(&n_containers));
+  std::vector<TagId> container_tags;
+  for (uint64_t i = 0; i < n_containers; ++i) {
+    TagId tag;
+    RFID_RETURN_NOT_OK(r->GetTagId(&tag));
+    container_tags.push_back(tag);
+  }
+  uint64_t n_objects = 0;
+  RFID_RETURN_NOT_OK(r->GetVarint(&n_objects));
+  std::vector<RFInfer::RestoredObjectResult> objects;
+  for (uint64_t i = 0; i < n_objects; ++i) {
+    RFInfer::RestoredObjectResult ro;
+    RFID_RETURN_NOT_OK(r->GetTagId(&ro.tag));
+    uint64_t n_weights = 0;
+    RFID_RETURN_NOT_OK(r->GetVarint(&n_weights));
+    for (uint64_t j = 0; j < n_weights; ++j) {
+      TagId ctag;
+      double weight = 0.0;
+      RFID_RETURN_NOT_OK(r->GetTagId(&ctag));
+      RFID_RETURN_NOT_OK(r->GetDouble(&weight));
+      ro.weights.emplace_back(ctag, weight);
+    }
+    RFID_RETURN_NOT_OK(r->GetTagId(&ro.assigned));
+    objects.push_back(std::move(ro));
+  }
+  engine_->RestoreResults(std::move(container_tags), objects);
+  return Status::OK();
 }
 
 }  // namespace rfid

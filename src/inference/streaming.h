@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/serde.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "inference/rfinfer.h"
@@ -161,6 +162,23 @@ class StreamingInference {
   /// payload for one object.
   std::vector<RawReading> ExportReadings(const std::vector<TagId>& tags,
                                          TagId object);
+
+  // ---- Durable checkpoints (dist/durability.h) ----
+
+  /// Serializes the complete cross-run state at full precision: the
+  /// retained history buffer, per-object contexts (including the critical
+  /// region gap the migration envelope drops), change overrides, imported
+  /// beliefs, change-point history, location tracks, the run cursor, and
+  /// the engine's last-run containment results. Unordered maps are encoded
+  /// in sorted key order so identical state yields identical bytes. Seals
+  /// the buffer if needed (canonical re-sort; observably idempotent).
+  void EncodeSnapshot(BufferWriter* w);
+
+  /// Restores state written by EncodeSnapshot into a freshly constructed
+  /// driver (same model/schedule/options). Fails without partial effects
+  /// on malformed input only insofar as the caller discards the driver;
+  /// never trust a driver whose restore returned an error.
+  Status RestoreSnapshot(BufferReader* r);
 
  private:
   void CompactBuffer(Epoch next_window_begin);

@@ -34,6 +34,10 @@ const char* PhaseName(Phase phase) {
       return "crash_recovery";
     case Phase::kFlushOverlap:
       return "flush_overlap";
+    case Phase::kWalAppend:
+      return "wal_append";
+    case Phase::kCheckpoint:
+      return "checkpoint";
   }
   return "unknown";
 }

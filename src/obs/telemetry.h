@@ -49,9 +49,15 @@ enum class Phase : uint8_t {
   // per-site track: the flush encode of a remote site's batch overlapping
   // the server's window compute on the executor.
   kFlushOverlap,      ///< centralized: batch encode overlapped on workers
+  // Durability phases (dist/durability.h; appended to keep values stable).
+  // kWalAppend runs on the driver track (the WAL absorbs inbound frames
+  // during the serial drain sweep); kCheckpoint likewise (checkpoints cut
+  // in the serial boundary phase, after exports).
+  kWalAppend,         ///< durable sites: frame WAL append + batched fsync
+  kCheckpoint,        ///< durable sites: checkpoint encode + atomic install
 };
 
-inline constexpr int kNumPhases = 13;
+inline constexpr int kNumPhases = 15;
 
 /// Stable lowercase name ("window_compute"); the registry key is
 /// "phase/" + PhaseName.

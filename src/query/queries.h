@@ -75,6 +75,13 @@ class ExposureQuery {
 
   const std::vector<ExposureAlert>& alerts() const { return alerts_; }
 
+  /// Reinstates previously fired alerts (durable checkpoint restore,
+  /// dist/durability.h). Output-only: the pattern automata are restored
+  /// separately via ImportState.
+  void RestoreAlerts(const std::vector<ExposureAlert>& alerts) {
+    alerts_.insert(alerts_.end(), alerts.begin(), alerts.end());
+  }
+
   // ---- Per-object query state (Section 4.2) ----
 
   /// Serialized pattern state of one object; the migration payload.

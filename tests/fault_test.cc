@@ -662,5 +662,49 @@ TEST(CrashRecoveryTest, SeededScheduleIsValidAndDeterministic) {
   EXPECT_TRUE(SeededCrashSchedule(9, 0, 2000, 3, 100).empty());
 }
 
+// Pinned regression for the peer-assisted recovery's documented gap: a
+// transfer that departs WHILE its source site is down is never exported
+// (the dead process can't send, and the restarted one no longer owns the
+// state), so the non-durable run provably diverges from the uncrashed
+// run in wire bytes. The durable path (tests/durability_test.cc) closes
+// exactly this gap: its catch-up replay exports the envelope from
+// checkpoint + WAL state, bit-identically and with zero recovery
+// traffic.
+TEST(CrashRecoveryTest, DepartureDuringOutageIsLostWithoutDurability) {
+  ReplayFixture fx;
+  const ObjectTransfer* victim = nullptr;
+  for (const ObjectTransfer& tr : fx.sim.transfers()) {
+    if (tr.from > 0 && tr.to != kNoSite && tr.depart >= 400 &&
+        tr.arrive > tr.depart + 20 && tr.arrive <= 1400) {
+      victim = &tr;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+  const Epoch at = victim->depart - 5;
+  const Epoch recover_at = victim->depart + 15;
+  ASSERT_LT(recover_at, victim->arrive);
+
+  DistributedOptions base = ReplayOptions(0);
+  DistributedSystem reference(&fx.sim, base, &fx.catalog, &fx.sensors);
+  reference.Run();
+
+  DistributedOptions crashed_opts = ReplayOptions(0);
+  crashed_opts.crashes.push_back(CrashEvent{victim->from, at, recover_at});
+  DistributedSystem crashed(&fx.sim, crashed_opts, &fx.catalog, &fx.sensors);
+  crashed.Run();
+
+  // The replacement process asked its peers for help...
+  EXPECT_GT(crashed.network().BytesOfKind(MessageKind::kRecoveryRequest), 0);
+  // ...but the departed envelope never crossed the wire, and with it the
+  // migrated tags' reading histories: the destination cannot merge each
+  // item's pre-move exposure with its post-move exposure, so every
+  // migrated item's alert splits in two and the alert sets diverge. This
+  // inequality is the contract the durable path's bit-identity suite
+  // (tests/durability_test.cc) tightens to equality.
+  EXPECT_NE(reference.AllAlerts(0).size(), crashed.AllAlerts(0).size());
+  EXPECT_NE(reference.AllAlerts(1).size(), crashed.AllAlerts(1).size());
+}
+
 }  // namespace
 }  // namespace rfid

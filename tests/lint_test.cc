@@ -382,6 +382,101 @@ TEST_F(LintTest, UnbalancedHotLoopMarkersAreFindings) {
       << out;
 }
 
+TEST_F(LintTest, DurableIoOutsideAuditedRegionFires) {
+  WriteCleanTree();
+  WriteFile("src/dist/store.cc",
+            "int Open(const char* p) {\n"
+            "  return ::open(p, O_WRONLY | O_CREAT, 0644);\n"
+            "}\n"
+            "void Append(int fd, const uint8_t* d, size_t n) {\n"
+            "  ::write(fd, d, n);\n"
+            "}\n"
+            "void Publish(const char* a, const char* b) {\n"
+            "  ::rename(a, b);\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("store.cc:2: [durability-fsync]"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("store.cc:5: [durability-fsync]"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("store.cc:8: [durability-fsync]"), std::string::npos)
+      << out;
+}
+
+TEST_F(LintTest, DurableIoInsideAuditedRegionIsClean) {
+  WriteCleanTree();
+  WriteFile("src/dist/store.cc",
+            "// lint:durable-io-begin(store-writers)\n"
+            "int Open(const char* p) {\n"
+            "  return ::open(p, O_WRONLY | O_CREAT, 0644);\n"
+            "}\n"
+            "void Append(int fd, const uint8_t* d, size_t n) {\n"
+            "  ::write(fd, d, n);\n"
+            "  ::fdatasync(fd);\n"
+            "}\n"
+            "// lint:durable-io-end\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 0) << out;
+}
+
+TEST_F(LintTest, DurableIoAllowWithReasonSilences) {
+  WriteCleanTree();
+  WriteFile("src/dist/store.cc",
+            "int Open(const char* p) {\n"
+            "  // lint:allow(durability-fsync): one-shot debug dump, not\n"
+            "  // a durable artifact.\n"
+            "  return ::open(p, O_WRONLY | O_CREAT, 0644);\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 0) << out;
+}
+
+TEST_F(LintTest, SocketWritesWithoutFileOpensAreOutOfDurableIoScope) {
+  WriteCleanTree();
+  // A transport writes to connected fds but never opens a file for
+  // writing: the durability-fsync gate must not drag it in.
+  WriteFile("src/dist/wire.cc",
+            "void Send(int fd, const uint8_t* d, size_t n) {\n"
+            "  write(fd, d, n);\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 0) << out;
+}
+
+TEST_F(LintTest, UnbalancedDurableIoMarkersAreFindings) {
+  WriteCleanTree();
+  WriteFile("src/dist/store.cc",
+            "// lint:durable-io-begin(never-closed)\n"
+            "void f() {}\n");
+  WriteFile("src/dist/stray.cc",
+            "void g() {}\n"
+            "// lint:durable-io-end\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("store.cc:1: [durability-fsync] "
+                     "durable-io-begin(never-closed) is never closed"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("stray.cc:2: [durability-fsync] durable-io-end "
+                     "without"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(LintTest, MultiLineOpenForWritingStillFires) {
+  WriteCleanTree();
+  WriteFile("src/dist/store.cc",
+            "int Open(const std::string& p) {\n"
+            "  return ::open(p.c_str(),\n"
+            "                O_WRONLY | O_CREAT | O_APPEND, 0644);\n"
+            "}\n");
+  auto [code, out] = RunLinter(root_);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("store.cc:2: [durability-fsync]"), std::string::npos)
+      << out;
+}
+
 // The linter must hold on the real tree: a regression in src/ or a broken
 // rule shows up here even if the rfid_lint ctest is skipped.
 TEST_F(LintTest, LiveTreeIsClean) {

@@ -48,6 +48,23 @@ Enforces domain rules no generic analyzer knows (registered as the
                      delegate to a *ErrorPercent overload that does). An
                      empty run is not a perfect one.
 
+  durability-fsync   In src/dist/ files that open files for writing (the
+                     durable-storage modules: WAL segments, checkpoints,
+                     the audit log), every raw write primitive -- an
+                     open() with O_WRONLY/O_RDWR, fopen() in a write
+                     mode, write()/pwrite()/fwrite(), rename() -- must
+                     sit inside a region bracketed by
+                     `// lint:durable-io-begin(<name>)` ...
+                     `// lint:durable-io-end`: the audited writers that
+                     pair every byte with the configured fsync policy
+                     (dist/durability.cc). A stray write that bypasses
+                     them can reorder past the WAL's append-before-apply
+                     contract and silently void crash recovery. Files
+                     that never open a file for writing (e.g. the socket
+                     transport's fd writes) are out of scope. Unbalanced
+                     or nested markers are findings;
+                     `lint:allow(durability-fsync): <reason>` escapes.
+
   hot-loop-alloc     Inside regions bracketed by
                      `// lint:hot-loop-begin(<name>)` ...
                      `// lint:hot-loop-end` (the per-reading window
@@ -84,6 +101,7 @@ RULES = (
     "determinism-clock",
     "unordered-iter",
     "nan-convention",
+    "durability-fsync",
     "hot-loop-alloc",
 )
 
@@ -430,6 +448,87 @@ def check_nan_convention(root, findings):
                             "NaN, not a fake-perfect value"))
 
 
+DUR_BEGIN = re.compile(r"lint:durable-io-begin\(([\w-]+)\)")
+DUR_END = re.compile(r"lint:durable-io-end\b")
+OPEN_TOKEN = re.compile(r"(?<![\w:.>])(?:::)?open\s*\(")
+WRITE_MODE = re.compile(r"O_(?:WRONLY|RDWR)")
+FOPEN_WRITE = re.compile(r"(?<![\w:.>])fopen\s*\([^;{]*,\s*\"[wa]")
+RAW_WRITE = re.compile(r"(?<![\w:.>])(?:::)?(?:write|pwrite|fwrite)\s*\(")
+RAW_RENAME = re.compile(r"(?<![\w:.>])(?:::)?rename\s*\(")
+
+
+def check_durable_io(root, findings):
+    dist_dir = os.path.join(root, "src/dist")
+    if not os.path.isdir(dist_dir):
+        return
+    for name in sorted(os.listdir(dist_dir)):
+        if not name.endswith((".h", ".cc")):
+            continue
+        path = os.path.join(dist_dir, name)
+        lines = read_lines(path)
+        stripped = [strip_comment(l) for l in lines]
+        # Scope gate: only modules that open files for writing are durable
+        # storage; a socket transport's fd writes never open a file.
+        text = "\n".join(stripped)
+        gated = bool(WRITE_MODE.search(text) or FOPEN_WRITE.search(text))
+        region = None  # (name, 1-based begin line)
+        for idx, raw in enumerate(lines):
+            mb = DUR_BEGIN.search(raw)
+            if mb:
+                if region is not None:
+                    findings.append(Finding(
+                        path, idx + 1, "durability-fsync",
+                        f"durable-io-begin({mb.group(1)}) opens inside "
+                        f"unclosed region '{region[0]}' (line "
+                        f"{region[1]}); regions do not nest"))
+                region = (mb.group(1), idx + 1)
+                continue
+            if DUR_END.search(raw):
+                if region is None:
+                    findings.append(Finding(
+                        path, idx + 1, "durability-fsync",
+                        "durable-io-end without a matching "
+                        "durable-io-begin"))
+                region = None
+                continue
+            if not gated or region is not None:
+                continue
+            line = stripped[idx]
+            hits = []
+            if OPEN_TOKEN.search(line):
+                # open() calls wrap; the mode flags may sit on the next
+                # line.
+                joined = line
+                if idx + 1 < len(stripped):
+                    joined += " " + stripped[idx + 1]
+                if WRITE_MODE.search(joined):
+                    hits.append("open() for writing")
+            if FOPEN_WRITE.search(line):
+                hits.append("fopen() in a write mode")
+            if RAW_WRITE.search(line):
+                hits.append("raw write")
+            if RAW_RENAME.search(line):
+                hits.append("rename()")
+            for what in hits:
+                ok, extra = allowed(lines, idx, "durability-fsync")
+                if extra:
+                    findings.append(Finding(
+                        path, extra[0], "durability-fsync", extra[1]))
+                if not ok:
+                    findings.append(Finding(
+                        path, idx + 1, "durability-fsync",
+                        f"{what} outside a lint:durable-io region in a "
+                        "durable storage module: WAL/checkpoint/audit "
+                        "bytes must flow through the audited writers "
+                        "that pair them with the fsync policy, or carry "
+                        "a reasoned suppression"))
+        if region is not None:
+            findings.append(Finding(
+                path, region[1], "durability-fsync",
+                f"durable-io-begin({region[0]}) is never closed; add "
+                "// lint:durable-io-end"))
+
+
 HOT_BEGIN = re.compile(r"lint:hot-loop-begin\(([\w-]+)\)")
 HOT_END = re.compile(r"lint:hot-loop-end\b")
 HOT_NEW = re.compile(r"(?<![\w:.>])new\s+[\w:(<]")
@@ -524,6 +623,7 @@ def main(argv):
     check_enum_coverage(root, findings)
     check_determinism(root, findings)
     check_nan_convention(root, findings)
+    check_durable_io(root, findings)
     check_hot_loops(root, findings)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
